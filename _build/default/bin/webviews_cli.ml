@@ -1,0 +1,258 @@
+(* Command-line interface: explore the generated sites, plan and run
+   SQL queries over their relational views, and exercise materialized
+   views.
+
+     webviews scheme   [--site ...]
+     webviews crawl    [--site ...]
+     webviews plan     [--site ...] [--candidates N] "SELECT ..."
+     webviews query    [--site ...] "SELECT ..."
+     webviews matview  [--site ...] "SELECT ..."  *)
+
+open Cmdliner
+open Webviews
+
+type site_kind = University | Bibliography | Catalog
+
+type loaded = {
+  schema : Adm.Schema.t;
+  registry : View.registry;
+  site : Websim.Site.t;
+}
+
+let load kind ~depts ~profs ~courses ~seed =
+  match kind with
+  | University ->
+    let config =
+      {
+        Sitegen.University.default_config with
+        n_depts = depts;
+        n_profs = profs;
+        n_courses = courses;
+        seed;
+      }
+    in
+    let uni = Sitegen.University.build ~config () in
+    {
+      schema = Sitegen.University.schema;
+      registry = Sitegen.University.view;
+      site = Sitegen.University.site uni;
+    }
+  | Bibliography ->
+    (* no hand-written view for this site: derive one automatically *)
+    let bib = Sitegen.Bibliography.build () in
+    {
+      schema = Sitegen.Bibliography.schema;
+      registry = View.auto_registry Sitegen.Bibliography.schema;
+      site = Sitegen.Bibliography.site bib;
+    }
+  | Catalog ->
+    let cat = Sitegen.Catalog.build () in
+    {
+      schema = Sitegen.Catalog.schema;
+      registry = Sitegen.Catalog.view;
+      site = Sitegen.Catalog.site cat;
+    }
+
+let stats_of loaded =
+  let http = Websim.Http.connect loaded.site in
+  Stats.of_instance (Websim.Crawler.crawl loaded.schema http)
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let site_conv =
+  let parse = function
+    | "university" -> Ok University
+    | "bibliography" -> Ok Bibliography
+    | "catalog" -> Ok Catalog
+    | s -> Error (`Msg (Fmt.str "unknown site %S (university|bibliography|catalog)" s))
+  in
+  let print ppf = function
+    | University -> Fmt.string ppf "university"
+    | Bibliography -> Fmt.string ppf "bibliography"
+    | Catalog -> Fmt.string ppf "catalog"
+  in
+  Arg.conv (parse, print)
+
+let site_arg =
+  Arg.(value & opt site_conv University & info [ "s"; "site" ] ~docv:"SITE"
+         ~doc:"Generated site to use: $(b,university), $(b,bibliography) or $(b,catalog).")
+
+let depts_arg =
+  Arg.(value & opt int 3 & info [ "depts" ] ~docv:"N" ~doc:"Number of departments.")
+
+let profs_arg =
+  Arg.(value & opt int 20 & info [ "profs" ] ~docv:"N" ~doc:"Number of professors.")
+
+let courses_arg =
+  Arg.(value & opt int 50 & info [ "courses" ] ~docv:"N" ~doc:"Number of courses.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
+
+let with_site f site depts profs courses seed =
+  f (load site ~depts ~profs ~courses ~seed)
+
+let site_args f =
+  Term.(const (with_site f) $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let scheme_cmd =
+  let run loaded = Fmt.pr "%a@." Adm.Schema.pp loaded.schema in
+  Cmd.v (Cmd.info "scheme" ~doc:"Print the ADM web scheme of a site.") (site_args run)
+
+let crawl_cmd =
+  let run loaded =
+    let http = Websim.Http.connect loaded.site in
+    let instance = Websim.Crawler.crawl loaded.schema http in
+    Fmt.pr "crawled %d pages (%a)@.@." instance.Websim.Crawler.fetched
+      Websim.Http.pp_stats (Websim.Http.stats http);
+    List.iter
+      (fun (name, rel) -> Fmt.pr "  %-18s %4d pages@." name (Adm.Relation.cardinality rel))
+      instance.Websim.Crawler.relations;
+    (match Websim.Crawler.validate loaded.schema instance with
+    | [] -> Fmt.pr "@.all link and inclusion constraints hold@."
+    | errs ->
+      Fmt.pr "@.%d constraint violations:@." (List.length errs);
+      List.iter (Fmt.pr "  %s@.") errs);
+    Fmt.pr "@.%a@." Stats.pp (Stats.of_instance instance)
+  in
+  Cmd.v
+    (Cmd.info "crawl" ~doc:"Crawl a site, validate its constraints, print statistics.")
+    (site_args run)
+
+let plan_cmd =
+  let run n dot sql loaded =
+    if loaded.registry = [] then Fmt.epr "this site has no external view@."
+    else begin
+      let stats = stats_of loaded in
+      let outcome = Planner.plan_sql loaded.schema stats loaded.registry sql in
+      if dot then Fmt.pr "%s@." (Explain.to_dot outcome.Planner.best.Planner.expr)
+      else begin
+        Fmt.pr "%a@." Explain.pp_outcome outcome;
+        List.iteri
+          (fun i (p : Planner.plan) ->
+            if i < n then
+              Fmt.pr "@.--- candidate #%d, cost %.2f ---@.%a@." (i + 1) p.Planner.cost
+                (Explain.pp_annotated loaded.schema stats)
+                p.Planner.expr)
+          outcome.Planner.candidates
+      end
+    end
+  in
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "candidates" ] ~docv:"N"
+           ~doc:"How many candidate plans to display.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ]
+           ~doc:"Emit the best plan as a Graphviz digraph instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Show the optimizer's candidate navigation plans for a query.")
+    Term.(const (fun site depts profs courses seed n dot sql ->
+              with_site (run n dot sql) site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ n_arg $ dot_arg
+          $ sql_arg)
+
+let query_cmd =
+  let run sql loaded =
+    let stats = stats_of loaded in
+    let http = Websim.Http.connect loaded.site in
+    let source = Eval.live_source loaded.schema http in
+    let outcome, result = Planner.run loaded.schema stats loaded.registry source sql in
+    Fmt.pr "plan (cost %.2f):@.%a@.@." outcome.Planner.best.Planner.cost Nalg.pp_plan
+      outcome.Planner.best.Planner.expr;
+    Fmt.pr "%a@.@." Adm.Relation.pp result;
+    Fmt.pr "network: %a@." Websim.Http.pp_stats (Websim.Http.stats http)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Plan and execute a SQL query over the site's relational view.")
+    Term.(const (fun site depts profs courses seed sql ->
+              with_site (run sql) site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ sql_arg)
+
+let matview_cmd =
+  let run sql loaded =
+    let stats = stats_of loaded in
+    let http = Websim.Http.connect loaded.site in
+    let mv = Matview.materialize loaded.schema http in
+    Fmt.pr "materialized %d pages@.@." (Matview.total_pages mv);
+    let outcome = Planner.plan_sql loaded.schema stats loaded.registry sql in
+    let report = Matview.query_counted mv outcome.Planner.best.Planner.expr in
+    Fmt.pr "%a@.@." Adm.Relation.pp
+      (Planner.rename_output outcome report.Matview.result);
+    Fmt.pr "light connections: %d, downloads: %d, local hits: %d@."
+      report.Matview.light_connections report.Matview.downloads
+      report.Matview.local_hits
+  in
+  Cmd.v
+    (Cmd.info "matview" ~doc:"Materialize the site and answer a query from the local view.")
+    Term.(const (fun site depts profs courses seed sql ->
+              with_site (run sql) site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ sql_arg)
+
+let navigations_cmd =
+  let run loaded =
+    List.iter
+      (fun ps ->
+        let name = Adm.Page_scheme.name ps in
+        match View.infer_navigations loaded.schema ~scheme:name with
+        | [] -> ()
+        | navs ->
+          Fmt.pr "@.%s:@." name;
+          List.iter (fun nav -> Fmt.pr "  %a@." Nalg.pp nav) navs)
+      (Adm.Schema.schemes loaded.schema)
+  in
+  Cmd.v
+    (Cmd.info "navigations"
+       ~doc:
+         "Infer default navigations for every page-scheme from the web scheme's \
+          entry points and inclusion constraints (the paper's Section 5 \
+          suggestion).")
+    (site_args run)
+
+let discover_cmd =
+  let run loaded =
+    let http = Websim.Http.connect loaded.site in
+    let instance = Websim.Crawler.crawl loaded.schema http in
+    let audit = Discover.audit loaded.schema instance in
+    let section title (items : string list) =
+      Fmt.pr "@.%s (%d):@." title (List.length items);
+      List.iter (Fmt.pr "  %s@.") items
+    in
+    let links = List.map (Fmt.str "%a" Adm.Constraints.pp_link_constraint) in
+    let incls = List.map (Fmt.str "%a" Adm.Constraints.pp_inclusion) in
+    section "confirmed link constraints" (links audit.Discover.confirmed_links);
+    section "refuted link constraints" (links audit.Discover.refuted_links);
+    section "candidate link constraints (hold but undeclared)"
+      (links audit.Discover.candidate_links);
+    section "confirmed inclusions" (incls audit.Discover.confirmed_inclusions);
+    section "refuted inclusions" (incls audit.Discover.refuted_inclusions);
+    section "candidate inclusions (hold but undeclared)"
+      (incls audit.Discover.candidate_inclusions)
+  in
+  Cmd.v
+    (Cmd.info "discover"
+       ~doc:
+         "Mine link and inclusion constraints from a crawl of the site and audit \
+          them against the declared scheme (the reverse-engineering step the \
+          paper assigns to WebSQL-style exploration).")
+    (site_args run)
+
+let main_cmd =
+  let doc = "Efficient queries over web views (EDBT 1998 reproduction)" in
+  Cmd.group (Cmd.info "webviews" ~doc)
+    [
+      scheme_cmd; crawl_cmd; plan_cmd; query_cmd; matview_cmd; navigations_cmd;
+      discover_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

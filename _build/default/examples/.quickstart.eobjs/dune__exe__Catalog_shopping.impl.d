@@ -1,0 +1,1 @@
+examples/catalog_shopping.ml: Adm Eval Fmt List Nalg Planner Sitegen Stats Websim Webviews

@@ -1,0 +1,1 @@
+examples/intro_bibliography.ml: Adm Eval Fmt List Sitegen String Websim Webviews

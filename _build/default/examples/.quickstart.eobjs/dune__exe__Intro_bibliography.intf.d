@@ -1,0 +1,1 @@
+examples/intro_bibliography.mli:

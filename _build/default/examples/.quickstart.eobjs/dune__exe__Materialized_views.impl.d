@@ -1,0 +1,1 @@
+examples/materialized_views.ml: Adm Fmt List Matview Nalg Planner Sitegen Stats Websim Webviews

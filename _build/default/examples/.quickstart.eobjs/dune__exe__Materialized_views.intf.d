@@ -1,0 +1,1 @@
+examples/materialized_views.mli:

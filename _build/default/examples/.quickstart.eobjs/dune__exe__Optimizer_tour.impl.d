@@ -1,0 +1,1 @@
+examples/optimizer_tour.ml: Conjunctive Cost Fmt List Nalg Planner Rewrite Sitegen Sql_parser Stats View Websim Webviews

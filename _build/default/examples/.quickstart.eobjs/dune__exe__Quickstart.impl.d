@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adm Eval Explain Fmt List Planner Sitegen Stats Websim Webviews

@@ -1,0 +1,1 @@
+lib/adm/constraints.ml: Fmt List String

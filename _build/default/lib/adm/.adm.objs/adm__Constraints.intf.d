@@ -1,0 +1,1 @@
+lib/adm/constraints.mli: Fmt

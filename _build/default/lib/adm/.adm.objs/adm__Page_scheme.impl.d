@@ -1,0 +1,1 @@
+lib/adm/page_scheme.ml: Fmt List Option String Value Webtype

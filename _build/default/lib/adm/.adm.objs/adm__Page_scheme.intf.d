@@ -1,0 +1,1 @@
+lib/adm/page_scheme.mli: Fmt Value Webtype

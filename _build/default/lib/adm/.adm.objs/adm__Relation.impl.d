@@ -1,0 +1,1 @@
+lib/adm/relation.ml: Fmt Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/adm/relation.mli: Fmt Value

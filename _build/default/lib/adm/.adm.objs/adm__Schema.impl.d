@@ -1,0 +1,1 @@
+lib/adm/schema.ml: Constraints Fmt Hashtbl List Page_scheme Relation String Value Webtype

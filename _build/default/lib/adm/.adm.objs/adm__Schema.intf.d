@@ -1,0 +1,1 @@
+lib/adm/schema.mli: Constraints Fmt Page_scheme Relation Value

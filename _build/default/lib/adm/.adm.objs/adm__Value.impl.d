@@ -1,0 +1,1 @@
+lib/adm/value.ml: Bool Fmt Hashtbl Int List String

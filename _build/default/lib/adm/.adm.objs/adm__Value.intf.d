@@ -1,0 +1,1 @@
+lib/adm/value.mli: Fmt

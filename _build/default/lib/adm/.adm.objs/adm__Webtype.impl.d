@@ -1,0 +1,1 @@
+lib/adm/webtype.ml: Fmt List Value

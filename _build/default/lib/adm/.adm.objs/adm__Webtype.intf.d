@@ -1,0 +1,1 @@
+lib/adm/webtype.mli: Fmt Value

@@ -1,0 +1,53 @@
+(* Link and inclusion constraints (Section 3.2).
+
+   A path names an attribute inside a page-scheme: the scheme name
+   plus the dotted steps from the page root, e.g.
+   ProfListPage.ProfList.ToProf. *)
+
+type path = { scheme : string; steps : string list }
+
+let path scheme steps = { scheme; steps }
+
+let path_of_string s =
+  match String.split_on_char '.' s with
+  | scheme :: (_ :: _ as steps) -> { scheme; steps }
+  | _ -> invalid_arg (Fmt.str "Constraints.path_of_string: %S" s)
+
+let path_to_string p = String.concat "." (p.scheme :: p.steps)
+let pp_path ppf p = Fmt.string ppf (path_to_string p)
+
+let path_equal p1 p2 =
+  String.equal p1.scheme p2.scheme && List.equal String.equal p1.steps p2.steps
+
+(* A link constraint, associated with link attribute [link] of the
+   source page-scheme: the value of [source_attr] (in the source page,
+   possibly inside the same nested list as the link) always equals
+   the value of mono-valued [target_attr] in the linked page.
+   E.g.: on ProfPage.ToDept, ProfPage.DName = DeptPage.DName. *)
+type link_constraint = {
+  link : path; (* the link attribute this predicate is attached to *)
+  source_attr : path; (* attribute A of the source page-scheme *)
+  target_scheme : string;
+  target_attr : string; (* mono-valued attribute B of the target *)
+}
+
+let link_constraint ~link ~source_attr ~target_scheme ~target_attr =
+  if not (String.equal link.scheme source_attr.scheme) then
+    invalid_arg "link_constraint: link and source attribute must share a scheme";
+  { link; source_attr; target_scheme; target_attr }
+
+let pp_link_constraint ppf c =
+  Fmt.pf ppf "%a = %s.%s  (on %a)" pp_path c.source_attr c.target_scheme
+    c.target_attr pp_path c.link
+
+(* An inclusion constraint between two link paths towards the same
+   page-scheme: every URL reachable through [sub] is also reachable
+   through [sup]. *)
+type inclusion = { sub : path; sup : path }
+
+let inclusion ~sub ~sup = { sub; sup }
+
+let pp_inclusion ppf c = Fmt.pf ppf "%a ⊆ %a" pp_path c.sub pp_path c.sup
+
+(* Equivalence P1.L1 ≡ P2.L2 is the pair of inclusions. *)
+let equivalence p1 p2 = [ { sub = p1; sup = p2 }; { sub = p2; sup = p1 } ]

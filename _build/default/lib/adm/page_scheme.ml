@@ -1,0 +1,104 @@
+(* Page-schemes (Section 3.1): the description of a set of structurally
+   similar pages. A page-scheme has a name, a list of typed attributes
+   (some optional) and, when it is an entry point, a known URL whose
+   instance contains a single page. The URL attribute is implicit and
+   always present; it forms a key for the page-scheme. *)
+
+type attr_decl = { name : string; ty : Webtype.t; optional : bool }
+
+type t = {
+  name : string;
+  attrs : attr_decl list;
+  entry_url : string option; (* Some url iff this page-scheme is an entry point *)
+}
+
+let url_attr = "URL"
+
+let attr ?(optional = false) name ty = { name; ty; optional }
+
+let make ?entry_url name (attrs : attr_decl list) =
+  List.iter
+    (fun ({ name = a; _ } : attr_decl) ->
+      if String.equal a url_attr then
+        invalid_arg "Page_scheme.make: URL is implicit and reserved")
+    attrs;
+  { name; attrs; entry_url }
+
+let name ps = ps.name
+let attrs ps = ps.attrs
+let entry_url ps = ps.entry_url
+let is_entry_point ps = Option.is_some ps.entry_url
+
+let find_attr ps a =
+  List.find_opt (fun (d : attr_decl) -> String.equal d.name a) ps.attrs
+
+(* Resolve a dotted path (excluding the page-scheme name) to its web
+   type, traversing nested lists. *)
+let resolve_path ps path =
+  let fields = List.map (fun (d : attr_decl) -> (d.name, d.ty)) ps.attrs in
+  Webtype.resolve_in_fields fields path
+
+(* All link attributes of the page-scheme, each with the dotted path
+   from the root of the page and the target page-scheme name. *)
+let link_paths ps =
+  let rec walk prefix fields =
+    List.concat_map
+      (fun (a, ty) ->
+        let path = prefix @ [ a ] in
+        match (ty : Webtype.t) with
+        | Webtype.Link target -> [ (path, target) ]
+        | Webtype.List inner -> walk path inner
+        | Webtype.Text | Webtype.Int | Webtype.Image -> [])
+      fields
+  in
+  walk [] (List.map (fun (d : attr_decl) -> (d.name, d.ty)) ps.attrs)
+
+(* Top-level multi-valued attributes (the ones unnest can reach first). *)
+let list_attrs ps =
+  List.filter_map
+    (fun (d : attr_decl) -> match d.ty with Webtype.List _ -> Some d.name | _ -> None)
+    ps.attrs
+
+let is_optional_path ps path =
+  (* Only top-level optionality is tracked; nested attributes inherit
+     their list's presence. *)
+  match path with
+  | [ a ] -> (
+    match find_attr ps a with Some d -> d.optional | None -> false)
+  | _ -> false
+
+(* Validate one page tuple against the scheme: implicit URL present,
+   every non-optional attribute bound to a value of the right type. *)
+let validate_tuple ps (tuple : Value.tuple) =
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun m -> errors := m :: !errors) fmt in
+  (match Value.find tuple url_attr with
+  | Some (Value.Link _) | Some (Value.Text _) -> ()
+  | Some v -> err "URL has type %s" (Value.type_name v)
+  | None -> err "missing URL");
+  List.iter
+    (fun { name = a; ty; optional } ->
+      match Value.find tuple a with
+      | None -> if not optional then err "missing attribute %s" a
+      | Some Value.Null -> if not optional then err "null non-optional attribute %s" a
+      | Some v ->
+        if not (Webtype.accepts ty v) then
+          err "attribute %s: expected %s, got %s" a (Webtype.to_string ty)
+            (Value.type_name v))
+    ps.attrs;
+  List.iter
+    (fun (a, _) ->
+      if (not (String.equal a url_attr)) && find_attr ps a = None then
+        err "unknown attribute %s" a)
+    tuple;
+  List.rev !errors
+
+let pp ppf ps =
+  let pp_attr ppf { name = a; ty; optional } =
+    Fmt.pf ppf "%s%s : %a" a (if optional then "?" else "") Webtype.pp ty
+  in
+  Fmt.pf ppf "@[<v 2>%s(URL%a)%a@]" ps.name
+    (Fmt.list (fun ppf a -> Fmt.pf ppf ",@ %a" pp_attr a))
+    ps.attrs
+    (Fmt.option (fun ppf u -> Fmt.pf ppf "@ entry point: %s" u))
+    ps.entry_url

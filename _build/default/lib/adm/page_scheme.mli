@@ -1,0 +1,35 @@
+(** Page-schemes: descriptions of sets of structurally similar pages
+    (paper, Section 3.1). The URL attribute is implicit and forms a
+    key; entry points are page-schemes with a known URL and a
+    single-page instance. *)
+
+type attr_decl = { name : string; ty : Webtype.t; optional : bool }
+type t
+
+val url_attr : string
+(** ["URL"], the implicit key attribute. *)
+
+val attr : ?optional:bool -> string -> Webtype.t -> attr_decl
+
+val make : ?entry_url:string -> string -> attr_decl list -> t
+(** Raises [Invalid_argument] if an attribute is named [URL]. *)
+
+val name : t -> string
+val attrs : t -> attr_decl list
+val entry_url : t -> string option
+val is_entry_point : t -> bool
+
+val find_attr : t -> string -> attr_decl option
+val resolve_path : t -> string list -> Webtype.t option
+val link_paths : t -> (string list * string) list
+(** All link attributes as (dotted path from page root, target
+    page-scheme name). *)
+
+val list_attrs : t -> string list
+val is_optional_path : t -> string list -> bool
+
+val validate_tuple : t -> Value.tuple -> string list
+(** Structural errors of a page tuple against the scheme (empty list =
+    valid). *)
+
+val pp : t Fmt.t

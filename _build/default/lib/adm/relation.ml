@@ -1,0 +1,247 @@
+(* Nested relations: ordered attribute header plus a list of tuples.
+
+   Invariant: every tuple binds exactly the attributes of the header,
+   in header order (missing values are padded with Null by [make]).
+   Attribute names are full dotted paths, e.g. "ProfPage.Name" or
+   "ProfPage.CourseList.ToCourse" after an unnest, so that expressions
+   over several page-schemes never collide. *)
+
+type t = { attrs : string list; rows : Value.tuple list }
+
+let empty attrs = { attrs; rows = [] }
+
+let normalize_tuple attrs tuple =
+  List.map
+    (fun a ->
+      match Value.find tuple a with Some v -> (a, v) | None -> (a, Value.Null))
+    attrs
+
+let make attrs rows = { attrs; rows = List.map (normalize_tuple attrs) rows }
+
+let attrs r = r.attrs
+let rows r = r.rows
+let cardinality r = List.length r.rows
+let is_empty r = r.rows = []
+
+let has_attr r a = List.mem a r.attrs
+
+let check_attr r a =
+  if not (has_attr r a) then
+    invalid_arg
+      (Printf.sprintf "Relation: unknown attribute %S (have: %s)" a
+         (String.concat ", " r.attrs))
+
+(* Set-semantics helpers. Keys are canonical strings of the tuple; PNF
+   plus atomic keys make this sound. *)
+
+let tuple_key tuple = Fmt.str "%a" Value.pp_tuple tuple
+
+let distinct r =
+  let seen = Hashtbl.create (max 16 (List.length r.rows)) in
+  let keep tuple =
+    let k = tuple_key tuple in
+    if Hashtbl.mem seen k then false
+    else begin
+      Hashtbl.add seen k ();
+      true
+    end
+  in
+  { r with rows = List.filter keep r.rows }
+
+let project ?(distinct_rows = true) names r =
+  List.iter (check_attr r) names;
+  let take tuple = List.map (fun a -> (a, Value.find_exn tuple a)) names in
+  let projected = { attrs = names; rows = List.map take r.rows } in
+  if distinct_rows then distinct projected else projected
+
+let select pred r = { r with rows = List.filter pred r.rows }
+
+let rename_attr ~from ~into r =
+  check_attr r from;
+  let rename a = if String.equal a from then into else a in
+  let rename_binding (a, v) = (rename a, v) in
+  {
+    attrs = List.map rename r.attrs;
+    rows = List.map (List.map rename_binding) r.rows;
+  }
+
+let prefix_attrs prefix r =
+  let add a = prefix ^ "." ^ a in
+  {
+    attrs = List.map add r.attrs;
+    rows = List.map (List.map (fun (a, v) -> (add a, v))) r.rows;
+  }
+
+let union r1 r2 =
+  if not (List.equal String.equal r1.attrs r2.attrs) then
+    invalid_arg "Relation.union: incompatible headers";
+  distinct { r1 with rows = r1.rows @ r2.rows }
+
+let difference r1 r2 =
+  if not (List.equal String.equal r1.attrs r2.attrs) then
+    invalid_arg "Relation.difference: incompatible headers";
+  let seen = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace seen (tuple_key t) ()) r2.rows;
+  { r1 with rows = List.filter (fun t -> not (Hashtbl.mem seen (tuple_key t))) r1.rows }
+
+(* Hash equi-join on pairs of attributes [(a1, a2)] where [a1] belongs
+   to the left input and [a2] to the right. Output header is left
+   attrs followed by the right attrs not already present on the left
+   (a shared name is only legal when it is one of the join keys, in
+   which case the values agree by construction). *)
+let equi_join keys r1 r2 =
+  List.iter (fun (a1, a2) -> check_attr r1 a1; check_attr r2 a2) keys;
+  let dup_ok a = List.exists (fun (a1, a2) -> String.equal a a1 && String.equal a a2) keys in
+  List.iter
+    (fun a ->
+      if has_attr r1 a && not (dup_ok a) then
+        invalid_arg (Fmt.str "Relation.equi_join: ambiguous attribute %S" a))
+    r2.attrs;
+  let right_attrs = List.filter (fun a -> not (has_attr r1 a)) r2.attrs in
+  let key_of side tuple =
+    String.concat "\x00"
+      (List.map (fun (a1, a2) ->
+           let a = if side = `Left then a1 else a2 in
+           Value.to_string (Value.find_exn tuple a))
+         keys)
+  in
+  let index = Hashtbl.create (max 16 (List.length r2.rows)) in
+  List.iter (fun t -> Hashtbl.add index (key_of `Right t) t) r2.rows;
+  let extend t1 =
+    (* Null join keys never match, as in SQL. *)
+    let has_null =
+      List.exists (fun (a1, _) -> Value.is_null (Value.find_exn t1 a1)) keys
+    in
+    if has_null then []
+    else
+      let matches = Hashtbl.find_all index (key_of `Left t1) in
+      List.map
+        (fun t2 ->
+          t1 @ List.map (fun a -> (a, Value.find_exn t2 a)) right_attrs)
+        matches
+  in
+  { attrs = r1.attrs @ right_attrs; rows = List.concat_map extend r1.rows }
+
+let cross r1 r2 =
+  List.iter
+    (fun a ->
+      if has_attr r1 a then
+        invalid_arg (Fmt.str "Relation.cross: ambiguous attribute %S" a))
+    r2.attrs;
+  {
+    attrs = r1.attrs @ r2.attrs;
+    rows = List.concat_map (fun t1 -> List.map (fun t2 -> t1 @ t2) r2.rows) r1.rows;
+  }
+
+(* Unnest a multi-valued attribute: the nested tuples' local attribute
+   names are qualified with the full path of the nested attribute.
+   Tuples whose nested list is empty or Null disappear, as in the
+   standard unnest operator. *)
+let unnest ?(expect = []) attr r =
+  check_attr r attr;
+  (* [expect] seeds the inner header: without it an empty input would
+     lose the statically-known nested attributes *)
+  let inner_attrs = ref expect in
+  let register local =
+    let full = attr ^ "." ^ local in
+    if not (List.mem full !inner_attrs) then inner_attrs := !inner_attrs @ [ full ];
+    full
+  in
+  let expand tuple =
+    match Value.find_exn tuple attr with
+    | Value.Rows inner ->
+      let outer = Value.remove tuple attr in
+      List.map
+        (fun nested -> outer @ List.map (fun (a, v) -> (register a, v)) nested)
+        inner
+    | Value.Null -> []
+    | v ->
+      invalid_arg
+        (Fmt.str "Relation.unnest: attribute %S is %s, not nested rows" attr
+           (Value.type_name v))
+  in
+  let rows = List.concat_map expand r.rows in
+  let attrs = List.filter (fun a -> not (String.equal a attr)) r.attrs @ !inner_attrs in
+  make attrs rows
+
+(* Nest — the inverse of unnest (the ν operator): all attributes
+   prefixed by [into ^ "."] are folded back into a multi-valued
+   attribute [into], grouping on the remaining attributes. Restores
+   Partitioned Normal Form after an unnest (up to row order; rows
+   whose nested list was empty cannot be recovered, as usual). *)
+let nest ~into r =
+  let prefix = into ^ "." in
+  let is_nested a =
+    String.length a > String.length prefix && String.sub a 0 (String.length prefix) = prefix
+  in
+  let nested_attrs = List.filter is_nested r.attrs in
+  if nested_attrs = [] then invalid_arg "Relation.nest: no attributes to nest";
+  let outer_attrs = List.filter (fun a -> not (is_nested a)) r.attrs in
+  let strip a = String.sub a (String.length prefix) (String.length a - String.length prefix) in
+  let groups : (string, Value.tuple * Value.tuple list ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun tuple ->
+      let outer = List.map (fun a -> (a, Value.find_exn tuple a)) outer_attrs in
+      let inner = List.map (fun a -> (strip a, Value.find_exn tuple a)) nested_attrs in
+      let key = tuple_key outer in
+      match Hashtbl.find_opt groups key with
+      | Some (_, bucket) -> bucket := inner :: !bucket
+      | None ->
+        Hashtbl.add groups key (outer, ref [ inner ]);
+        order := key :: !order)
+    r.rows;
+  let rows =
+    List.rev_map
+      (fun key ->
+        let outer, bucket = Hashtbl.find groups key in
+        outer @ [ (into, Value.Rows (List.rev !bucket)) ])
+      !order
+  in
+  make (outer_attrs @ [ into ]) rows
+
+let distinct_count attr r =
+  check_attr r attr;
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun t -> Hashtbl.replace seen (Value.to_string (Value.find_exn t attr)) ())
+    r.rows;
+  Hashtbl.length seen
+
+let column attr r =
+  check_attr r attr;
+  List.map (fun t -> Value.find_exn t attr) r.rows
+
+let sort_rows r =
+  { r with rows = List.sort Value.compare_tuple r.rows }
+
+let equal r1 r2 =
+  List.equal String.equal r1.attrs r2.attrs
+  && List.equal Value.equal_tuple (sort_rows r1).rows (sort_rows r2).rows
+
+(* ASCII table printing for examples and the CLI. *)
+let pp ppf r =
+  let cell v = Value.to_display v in
+  let widths =
+    List.map
+      (fun a ->
+        List.fold_left
+          (fun w t -> max w (String.length (cell (Value.find_exn t a))))
+          (String.length a) r.rows)
+      r.attrs
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let row cells =
+    "|"
+    ^ String.concat "|" (List.map2 (fun s w -> " " ^ pad s w ^ " ") cells widths)
+    ^ "|"
+  in
+  Fmt.pf ppf "%s@\n%s@\n%s@\n" line (row r.attrs) line;
+  List.iter
+    (fun t ->
+      Fmt.pf ppf "%s@\n" (row (List.map (fun a -> cell (Value.find_exn t a)) r.attrs)))
+    r.rows;
+  Fmt.pf ppf "%s (%d rows)" line (List.length r.rows)

@@ -1,0 +1,50 @@
+(** Nested relations over {!Value.tuple}s with an ordered attribute
+    header. Attribute names are full dotted paths so that several
+    page-schemes can coexist in one relation without collisions. *)
+
+type t
+
+val empty : string list -> t
+
+val make : string list -> Value.tuple list -> t
+(** Pads missing attributes with [Null] and reorders bindings to match
+    the header. *)
+
+val attrs : t -> string list
+val rows : t -> Value.tuple list
+val cardinality : t -> int
+val is_empty : t -> bool
+val has_attr : t -> string -> bool
+
+val distinct : t -> t
+val project : ?distinct_rows:bool -> string list -> t -> t
+val select : (Value.tuple -> bool) -> t -> t
+val rename_attr : from:string -> into:string -> t -> t
+val prefix_attrs : string -> t -> t
+val union : t -> t -> t
+val difference : t -> t -> t
+
+val equi_join : (string * string) list -> t -> t -> t
+(** [equi_join [(a1, b1); ...] r1 r2] hash-joins [r1] and [r2] on the
+    given attribute pairs (left attribute, right attribute). Null keys
+    never match. *)
+
+val cross : t -> t -> t
+
+val unnest : ?expect:string list -> string -> t -> t
+(** [unnest l r] unnests multi-valued attribute [l]; nested attributes
+    are exposed as ["l.a"]. The paper's unnest-page operator [R ◦ L].
+    [expect] lists inner attribute names to keep in the header even
+    when the input is empty. *)
+
+val nest : into:string -> t -> t
+(** The ν operator, inverse of {!unnest}: folds every attribute
+    prefixed by [into ^ "."] back into multi-valued attribute [into],
+    grouping on the remaining attributes. Rows whose nested list was
+    empty are not recovered (standard nest/unnest asymmetry). *)
+
+val distinct_count : string -> t -> int
+val column : string -> t -> Value.t list
+val sort_rows : t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,143 @@
+(* Values of the Araneus data model (ADM) subset used by the paper.
+
+   A page is a nested tuple: mono-valued attributes hold atomic values
+   (text, integers, links, i.e. URL references), multi-valued
+   attributes hold lists of nested tuples. Nested relations are kept
+   in Partitioned Normal Form (PNF): atomic attributes of a tuple form
+   a key for the tuple within its enclosing list. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Text of string
+  | Link of string (* the URL of the referenced page *)
+  | Rows of tuple list
+
+and tuple = (string * t) list
+
+let rec equal v1 v2 =
+  match v1, v2 with
+  | Null, Null -> true
+  | Bool b1, Bool b2 -> Bool.equal b1 b2
+  | Int i1, Int i2 -> Int.equal i1 i2
+  | Text s1, Text s2 | Link s1, Link s2 -> String.equal s1 s2
+  | Rows r1, Rows r2 ->
+    List.length r1 = List.length r2 && List.for_all2 equal_tuple r1 r2
+  | (Null | Bool _ | Int _ | Text _ | Link _ | Rows _), _ -> false
+
+and equal_tuple t1 t2 =
+  List.length t1 = List.length t2
+  && List.for_all2
+       (fun (a1, v1) (a2, v2) -> String.equal a1 a2 && equal v1 v2)
+       t1 t2
+
+let rec compare v1 v2 =
+  let tag = function
+    | Null -> 0
+    | Bool _ -> 1
+    | Int _ -> 2
+    | Text _ -> 3
+    | Link _ -> 4
+    | Rows _ -> 5
+  in
+  match v1, v2 with
+  | Null, Null -> 0
+  | Bool b1, Bool b2 -> Bool.compare b1 b2
+  | Int i1, Int i2 -> Int.compare i1 i2
+  | Text s1, Text s2 | Link s1, Link s2 -> String.compare s1 s2
+  | Rows r1, Rows r2 -> List.compare compare_tuple r1 r2
+  | (Null | Bool _ | Int _ | Text _ | Link _ | Rows _), _ ->
+    Int.compare (tag v1) (tag v2)
+
+and compare_tuple t1 t2 =
+  List.compare
+    (fun (a1, v1) (a2, v2) ->
+      match String.compare a1 a2 with 0 -> compare v1 v2 | c -> c)
+    t1 t2
+
+let is_atomic = function
+  | Null | Bool _ | Int _ | Text _ | Link _ -> true
+  | Rows _ -> false
+
+let is_null = function Null -> true | _ -> false
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Text _ -> "text"
+  | Link _ -> "link"
+  | Rows _ -> "rows"
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "NULL"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Text s -> Fmt.pf ppf "%S" s
+  | Link u -> Fmt.pf ppf "<%s>" u
+  | Rows rows -> Fmt.pf ppf "[@[%a@]]" (Fmt.list ~sep:Fmt.semi pp_tuple) rows
+
+and pp_tuple ppf tuple =
+  let pp_binding ppf (a, v) = Fmt.pf ppf "%s=%a" a pp v in
+  Fmt.pf ppf "(@[%a@])" (Fmt.list ~sep:Fmt.comma pp_binding) tuple
+
+let to_string v = Fmt.str "%a" pp v
+
+(* Rendering for result tables and HTML generation: atoms without
+   quoting, nested rows summarized. *)
+let to_display = function
+  | Null -> ""
+  | Bool b -> Bool.to_string b
+  | Int i -> Int.to_string i
+  | Text s -> s
+  | Link u -> u
+  | Rows rows -> Fmt.str "[%d rows]" (List.length rows)
+
+let text s = Text s
+let int i = Int i
+let link u = Link u
+let rows r = Rows r
+
+(* Accessors used by wrappers and the evaluator. *)
+
+let as_text = function
+  | Text s -> Some s
+  | Link s -> Some s
+  | Int i -> Some (Int.to_string i)
+  | Bool b -> Some (Bool.to_string b)
+  | Null | Rows _ -> None
+
+let as_int = function
+  | Int i -> Some i
+  | Text s -> int_of_string_opt s
+  | Null | Bool _ | Link _ | Rows _ -> None
+
+let as_link = function Link u -> Some u | _ -> None
+let as_rows = function Rows r -> Some r | _ -> None
+
+(* Tuple helpers. Attribute lookup is by exact name. *)
+
+let find tuple attr = List.assoc_opt attr tuple
+
+let find_exn tuple attr =
+  match find tuple attr with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Fmt.str "Value.find_exn: no attribute %S in tuple %a" attr pp_tuple
+         tuple)
+
+let has_attr tuple attr = List.mem_assoc attr tuple
+
+let set tuple attr v =
+  if has_attr tuple attr then
+    List.map (fun (a, v0) -> if String.equal a attr then (a, v) else (a, v0))
+      tuple
+  else tuple @ [ (attr, v) ]
+
+let remove tuple attr = List.filter (fun (a, _) -> not (String.equal a attr)) tuple
+
+let attrs tuple = List.map fst tuple
+
+let hash v = Hashtbl.hash (to_string v)

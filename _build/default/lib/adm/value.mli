@@ -1,0 +1,52 @@
+(** Values of the ADM subset: atoms (text, int, bool, link) and nested
+    lists of tuples in Partitioned Normal Form. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Text of string
+  | Link of string  (** URL of the referenced page *)
+  | Rows of tuple list  (** multi-valued nested attribute *)
+
+and tuple = (string * t) list
+
+val equal : t -> t -> bool
+val equal_tuple : tuple -> tuple -> bool
+val compare : t -> t -> int
+val compare_tuple : tuple -> tuple -> int
+val hash : t -> int
+
+val is_atomic : t -> bool
+val is_null : t -> bool
+val type_name : t -> string
+
+val pp : t Fmt.t
+val pp_tuple : tuple Fmt.t
+val to_string : t -> string
+
+val to_display : t -> string
+(** Atom rendering without quoting; nested rows summarized. *)
+
+(** Constructors. *)
+
+val text : string -> t
+val int : int -> t
+val link : string -> t
+val rows : tuple list -> t
+
+(** Coercions, [None] on type mismatch. *)
+
+val as_text : t -> string option
+val as_int : t -> int option
+val as_link : t -> string option
+val as_rows : t -> tuple list option
+
+(** Tuple helpers. *)
+
+val find : tuple -> string -> t option
+val find_exn : tuple -> string -> t
+val has_attr : tuple -> string -> bool
+val set : tuple -> string -> t -> tuple
+val remove : tuple -> string -> tuple
+val attrs : tuple -> string list

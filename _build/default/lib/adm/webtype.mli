@@ -1,0 +1,27 @@
+(** Web types of the ADM subset (paper, Section 3.1): base types, links
+    to page-schemes, and (possibly nested) lists of tuples. *)
+
+type t =
+  | Text
+  | Int
+  | Image
+  | Link of string  (** name of the target page-scheme *)
+  | List of (string * t) list
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+val is_mono : t -> bool
+val is_multi : t -> bool
+val is_link : t -> bool
+val link_target : t -> string option
+
+val accepts : t -> Value.t -> bool
+(** Structural validation of a value against a type ([Null] accepted
+    everywhere). *)
+
+val accepts_tuple : (string * t) list -> Value.tuple -> bool
+
+val resolve_in_fields : (string * t) list -> string list -> t option
+(** Resolve a dotted path against a field list, traversing nested
+    lists. *)

@@ -1,0 +1,1 @@
+lib/core/conjunctive.ml: Fmt List Nalg Option Pred String View

@@ -1,0 +1,1 @@
+lib/core/conjunctive.mli: Fmt Nalg Pred View

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Adm Float List Nalg Pred Stats

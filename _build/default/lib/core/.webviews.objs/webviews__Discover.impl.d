@@ -1,0 +1,1 @@
+lib/core/discover.ml: Adm Fmt Hashtbl List String Websim

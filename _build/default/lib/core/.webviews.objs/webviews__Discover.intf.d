@@ -1,0 +1,1 @@
+lib/core/discover.mli: Adm Fmt Websim

@@ -1,0 +1,1 @@
+lib/core/dsl.ml: List Nalg Option Pred String

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Adm Fmt Hashtbl List Nalg Pred String Websim

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Adm Buffer Cost Fmt List Nalg Planner Pred Stats String

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Adm Fmt Nalg Planner Stats

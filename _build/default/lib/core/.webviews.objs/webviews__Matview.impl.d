@@ -1,0 +1,1 @@
+lib/core/matview.ml: Adm Eval Fun Hashtbl List Nalg Websim

@@ -1,0 +1,1 @@
+lib/core/matview.mli: Adm Eval Nalg Websim

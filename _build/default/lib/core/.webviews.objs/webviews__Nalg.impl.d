@@ -1,0 +1,1 @@
+lib/core/nalg.ml: Adm Fmt List Option Pred String

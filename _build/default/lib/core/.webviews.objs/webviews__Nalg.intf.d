@@ -1,0 +1,1 @@
+lib/core/nalg.mli: Adm Fmt Pred

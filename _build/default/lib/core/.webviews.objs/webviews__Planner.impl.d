@@ -1,0 +1,1 @@
+lib/core/planner.ml: Adm Conjunctive Cost Eval Float Fmt Hashtbl List Nalg Queue Rewrite Sql_parser Stats View

@@ -1,0 +1,1 @@
+lib/core/planner.mli: Adm Conjunctive Eval Fmt Nalg Stats View

@@ -1,0 +1,1 @@
+lib/core/pred.ml: Adm Fmt List String

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Adm List Nalg Pred String

@@ -1,0 +1,1 @@
+lib/core/sql_lexer.ml: Fmt List String

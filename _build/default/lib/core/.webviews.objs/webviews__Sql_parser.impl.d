@@ -1,0 +1,1 @@
+lib/core/sql_parser.ml: Adm Conjunctive Fmt List Pred Sql_lexer String View

@@ -1,0 +1,1 @@
+lib/core/stats.ml: Adm Fmt Hashtbl List String Websim

@@ -1,0 +1,1 @@
+lib/core/view.ml: Adm Fmt Int List Nalg Queue String

@@ -1,0 +1,31 @@
+(** The page-access cost model (paper Section 6.2):
+
+    - C(entry point) = 1,
+    - C(R →L P) = |π_L(R)| (distinct links followed),
+    - every local operator costs 0,
+
+    with the paper's Step-1 cardinality rules for intermediate
+    results. Deviation (recorded in EXPERIMENTS.md): the paper's table
+    states |R →L P| = |P| but its worked examples compute with the
+    source cardinality; we use |R →L P| = |R|, which reproduces the
+    paper's numbers. *)
+
+type estimate = { cost : float; card : float }
+
+val estimate : Adm.Schema.t -> Stats.t -> Nalg.expr -> Nalg.expr -> estimate
+(** [estimate schema stats root e]: estimate for subexpression [e] of
+    plan [root] ([root] provides the alias environment). *)
+
+val cost : Adm.Schema.t -> Stats.t -> Nalg.expr -> float
+val cardinality : Adm.Schema.t -> Stats.t -> Nalg.expr -> float
+
+val byte_cost : Adm.Schema.t -> Stats.t -> Nalg.expr -> float
+(** The refined model of footnote 8: estimated bytes transferred
+    (page accesses weighted by average page size per scheme).
+    Distinguishes plans that tie on page count. *)
+
+val distinct_of : Stats.t -> Nalg.expr -> string -> int option
+(** c_A for an attribute of the plan, resolved through its alias. *)
+
+val join_selectivity : Stats.t -> Nalg.expr -> (string * string) list -> float
+(** 1 / max(c_A, c_B) per key pair (System-R uniform estimate). *)

@@ -1,0 +1,114 @@
+(* Evaluation of computable NALG expressions.
+
+   Pages are obtained through a page source, which abstracts where
+   tuples come from: the live site over (simulated) HTTP, or the local
+   materialized store of Section 8. The evaluator itself is the same
+   in both cases, exactly as the paper describes: a navigation
+   [P1 →L P2] is evaluated by collecting the distinct values of link
+   attribute L and joining the fetched pages on [P1.L = P2.URL]. *)
+
+exception Not_computable of string
+
+type source = {
+  fetch : scheme:string -> url:string -> Adm.Value.tuple option;
+      (* the page tuple for a URL, or None when the page is gone *)
+  describe : string;
+}
+
+(* A live source downloads pages with GET and wraps them. With
+   [cache] (default), each URL is downloaded at most once per source
+   — the cost model counts *distinct* network accesses. *)
+let live_source ?(cache = true) (schema : Adm.Schema.t) (http : Websim.Http.t) =
+  let table : (string, Adm.Value.tuple option) Hashtbl.t = Hashtbl.create 64 in
+  let fetch ~scheme ~url =
+    let download () =
+      match Websim.Http.get http url with
+      | None -> None
+      | Some (body, _date) ->
+        let ps = Adm.Schema.find_scheme_exn schema scheme in
+        Some (Websim.Wrapper.extract ps ~url body)
+    in
+    if cache then
+      match Hashtbl.find_opt table url with
+      | Some cached -> cached
+      | None ->
+        let result = download () in
+        Hashtbl.add table url result;
+        result
+    else download ()
+  in
+  { fetch; describe = (if cache then "live" else "live/nocache") }
+
+(* A source reading a crawled instance (no network): used in tests. *)
+let instance_source (instance : Websim.Crawler.instance) =
+  {
+    fetch = (fun ~scheme ~url -> Websim.Crawler.tuple_of_url instance ~scheme ~url);
+    describe = "instance";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The evaluator                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let scheme_attr_names (schema : Adm.Schema.t) scheme =
+  let ps = Adm.Schema.find_scheme_exn schema scheme in
+  Adm.Page_scheme.url_attr
+  :: List.map
+       (fun (d : Adm.Page_scheme.attr_decl) -> d.Adm.Page_scheme.name)
+       (Adm.Page_scheme.attrs ps)
+
+(* The page relation of a set of URLs: fetch each, qualify attributes
+   with the alias. URLs whose page is gone are skipped (dangling
+   links are tolerated, as on the real web). *)
+let pages_relation schema source ~scheme ~alias urls =
+  let tuples = List.filter_map (fun url -> source.fetch ~scheme ~url) urls in
+  let rel = Adm.Relation.make (scheme_attr_names schema scheme) tuples in
+  Adm.Relation.prefix_attrs alias rel
+
+let rec eval (schema : Adm.Schema.t) (source : source) (e : Nalg.expr) : Adm.Relation.t =
+  match e with
+  | Nalg.External { name; _ } ->
+    raise
+      (Not_computable
+         (Fmt.str "external relation %s must be replaced by a default navigation (rule 1)" name))
+  | Nalg.Entry { scheme; alias } -> (
+    let ps = Adm.Schema.find_scheme_exn schema scheme in
+    match Adm.Page_scheme.entry_url ps with
+    | None ->
+      raise (Not_computable (Fmt.str "page-scheme %s is not an entry point" scheme))
+    | Some url -> pages_relation schema source ~scheme ~alias [ url ])
+  | Nalg.Select (p, e1) -> Adm.Relation.select (Pred.eval p) (eval schema source e1)
+  | Nalg.Project (attrs, e1) -> Adm.Relation.project attrs (eval schema source e1)
+  | Nalg.Join (keys, e1, e2) ->
+    Adm.Relation.equi_join keys (eval schema source e1) (eval schema source e2)
+  | Nalg.Unnest (e1, attr) ->
+    (* seed the unnested header with the statically-known nested
+       attributes so that empty inputs keep a full header *)
+    let prefix = attr ^ "." in
+    let expect =
+      List.filter
+        (fun a ->
+          String.length a > String.length prefix
+          && String.sub a 0 (String.length prefix) = prefix)
+        (Nalg.output_attrs schema e)
+    in
+    Adm.Relation.unnest ~expect attr (eval schema source e1)
+  | Nalg.Follow { src; link; scheme; alias } ->
+    let src_rel = eval schema source src in
+    let urls =
+      Adm.Relation.column link src_rel
+      |> List.filter_map Adm.Value.as_link
+      |> List.sort_uniq String.compare
+    in
+    let target = pages_relation schema source ~scheme ~alias urls in
+    Adm.Relation.equi_join
+      [ (link, alias ^ "." ^ Adm.Page_scheme.url_attr) ]
+      src_rel target
+
+(* Evaluate and report the network work done, as (relation, stats
+   delta). Only meaningful with a live source. *)
+let eval_counted schema http source e =
+  let before = Websim.Http.snapshot http in
+  let result = eval schema source e in
+  let after = Websim.Http.snapshot http in
+  (result, Websim.Http.diff ~before ~after)

@@ -1,0 +1,35 @@
+(** Evaluation of computable NALG expressions over a {e page source} —
+    the live site over HTTP, a crawled instance, or the materialized
+    store of Section 8. A navigation [P1 →L P2] collects the distinct
+    values of [L], fetches those pages and joins on [P1.L = P2.URL]. *)
+
+exception Not_computable of string
+
+type source = {
+  fetch : scheme:string -> url:string -> Adm.Value.tuple option;
+      (** the page tuple for a URL, or [None] when the page is gone *)
+  describe : string;
+}
+
+val live_source : ?cache:bool -> Adm.Schema.t -> Websim.Http.t -> source
+(** Downloads pages with GET and wraps them. With [cache] (default),
+    each URL is downloaded at most once per source — the cost model
+    counts {e distinct} network accesses. *)
+
+val instance_source : Websim.Crawler.instance -> source
+(** Reads a crawled instance; no network. *)
+
+val pages_relation :
+  Adm.Schema.t -> source -> scheme:string -> alias:string -> string list ->
+  Adm.Relation.t
+(** The page relation of a URL set, attributes qualified by [alias].
+    URLs whose page is gone are skipped (dangling links tolerated). *)
+
+val eval : Adm.Schema.t -> source -> Nalg.expr -> Adm.Relation.t
+(** Raises {!Not_computable} on [External] leaves or non-entry-point
+    [Entry] leaves. *)
+
+val eval_counted :
+  Adm.Schema.t -> Websim.Http.t -> source -> Nalg.expr ->
+  Adm.Relation.t * Websim.Http.stats
+(** Evaluate and report the network work done. *)

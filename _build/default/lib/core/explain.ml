@@ -1,0 +1,116 @@
+(* Human-readable plan explanations: the query-plan tree annotated
+   with the cost model's estimates, in the spirit of the paper's
+   Figures 2–4. *)
+
+let pp_annotated (schema : Adm.Schema.t) (stats : Stats.t) ppf (root : Nalg.expr) =
+  let est e = Cost.estimate schema stats root e in
+  let rec go indent ppf e =
+    let pad = String.make indent ' ' in
+    let { Cost.cost; card } = est e in
+    let note = Fmt.str "  {card≈%.1f, cost=%.1f}" card cost in
+    match (e : Nalg.expr) with
+    | Nalg.Entry { scheme; alias } ->
+      Fmt.pf ppf "%s%s%s%s@," pad scheme
+        (if String.equal scheme alias then "" else " as " ^ alias)
+        note
+    | Nalg.External { name; _ } -> Fmt.pf ppf "%sext:%s (not computable)@," pad name
+    | Nalg.Select (p, e1) ->
+      Fmt.pf ppf "%sσ %a%s@,%a" pad Pred.pp p note (go (indent + 2)) e1
+    | Nalg.Project (attrs, e1) ->
+      Fmt.pf ppf "%sπ %a%s@,%a" pad Fmt.(list ~sep:comma string) attrs note (go (indent + 2)) e1
+    | Nalg.Join (keys, e1, e2) ->
+      let pp_key ppf (a, b) = Fmt.pf ppf "%s=%s" a b in
+      Fmt.pf ppf "%s⋈ %a%s@,%a%a" pad Fmt.(list ~sep:comma pp_key) keys note
+        (go (indent + 2)) e1 (go (indent + 2)) e2
+    | Nalg.Unnest (e1, a) -> Fmt.pf ppf "%s◦ %s%s@,%a" pad a note (go (indent + 2)) e1
+    | Nalg.Follow { src; link; scheme; alias } ->
+      Fmt.pf ppf "%s→ %s [via %s]%s%s@,%a" pad scheme link
+        (if String.equal scheme alias then "" else " as " ^ alias)
+        note (go (indent + 2)) src
+  in
+  Fmt.pf ppf "@[<v>%a@]" (go 0) root
+
+(* Graphviz rendering of a query plan, one node per operator, in the
+   visual style of the paper's figures (page relations as boxes, link
+   operators as upward edges). *)
+let to_dot (root : Nalg.expr) : string =
+  let buf = Buffer.create 512 in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Fmt.str "n%d" !counter
+  in
+  let escape s =
+    String.concat "\\\"" (String.split_on_char '"' s)
+  in
+  let node id label shape =
+    Buffer.add_string buf
+      (Fmt.str "  %s [label=\"%s\", shape=%s];\n" id (escape label) shape)
+  in
+  let edge a b = Buffer.add_string buf (Fmt.str "  %s -> %s;\n" a b) in
+  let rec walk (e : Nalg.expr) =
+    let id = fresh () in
+    (match e with
+    | Nalg.Entry { scheme; alias } ->
+      node id
+        (if String.equal scheme alias then scheme else Fmt.str "%s as %s" scheme alias)
+        "box"
+    | Nalg.External { name; _ } -> node id (Fmt.str "ext:%s" name) "box"
+    | Nalg.Select (p, e1) ->
+      node id (Fmt.str "σ %s" (Pred.to_string p)) "ellipse";
+      edge id (walk e1)
+    | Nalg.Project (attrs, e1) ->
+      node id (Fmt.str "π %s" (String.concat ", " attrs)) "ellipse";
+      edge id (walk e1)
+    | Nalg.Join (keys, e1, e2) ->
+      let key_label =
+        String.concat ", " (List.map (fun (a, b) -> Fmt.str "%s=%s" a b) keys)
+      in
+      node id (Fmt.str "⋈ %s" key_label) "diamond";
+      edge id (walk e1);
+      edge id (walk e2)
+    | Nalg.Unnest (e1, a) ->
+      node id (Fmt.str "◦ %s" a) "ellipse";
+      edge id (walk e1)
+    | Nalg.Follow { src; link; scheme; _ } ->
+      node id (Fmt.str "→ %s via %s" scheme link) "box";
+      edge id (walk src));
+    id
+  in
+  Buffer.add_string buf "digraph plan {\n  rankdir=BT;\n";
+  let (_ : string) = walk root in
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Strategy classification for the Section 7 experiments: a plan that
+   joins link sets follows the pointer-join approach; a pure
+   navigation plan is a pointer chase. *)
+type strategy = Pointer_join | Pointer_chase
+
+let strategy (e : Nalg.expr) =
+  let has_join =
+    Nalg.fold
+      (fun acc n -> acc || match n with Nalg.Join _ -> true | _ -> false)
+      false e
+  in
+  if has_join then Pointer_join else Pointer_chase
+
+let strategy_name = function
+  | Pointer_join -> "pointer-join"
+  | Pointer_chase -> "pointer-chase"
+
+(* The cheapest candidate of each strategy, if any. *)
+let best_of_strategy (o : Planner.outcome) s =
+  List.find_opt (fun (p : Planner.plan) -> strategy p.Planner.expr = s) o.Planner.candidates
+
+(* One-line summary of a planner outcome. *)
+let pp_outcome ppf (o : Planner.outcome) =
+  Fmt.pf ppf "%d candidate plans, best cost %.2f" (List.length o.Planner.candidates)
+    o.Planner.best.Planner.cost
+
+(* Tabulate all candidates with their costs. *)
+let pp_candidates ppf (o : Planner.outcome) =
+  List.iteri
+    (fun i (p : Planner.plan) ->
+      Fmt.pf ppf "@,#%d  cost=%8.2f  %a" (i + 1) p.Planner.cost Nalg.pp p.Planner.expr)
+    o.Planner.candidates

@@ -1,0 +1,22 @@
+(** Human-readable plan explanations: annotated query-plan trees in
+    the spirit of the paper's Figures 2–4, and strategy classification
+    for the Section 7 experiments. *)
+
+val pp_annotated : Adm.Schema.t -> Stats.t -> Nalg.expr Fmt.t
+(** The plan tree with per-node cardinality and cost estimates. *)
+
+val to_dot : Nalg.expr -> string
+(** Graphviz rendering of the plan, paper-figure style (page relations
+    as boxes, link operators as upward edges). *)
+
+type strategy = Pointer_join | Pointer_chase
+
+val strategy : Nalg.expr -> strategy
+(** A plan containing a join of link sets is {!Pointer_join}; a pure
+    navigation is {!Pointer_chase}. *)
+
+val strategy_name : strategy -> string
+val best_of_strategy : Planner.outcome -> strategy -> Planner.plan option
+
+val pp_outcome : Planner.outcome Fmt.t
+val pp_candidates : Planner.outcome Fmt.t

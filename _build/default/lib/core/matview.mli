@@ -1,0 +1,62 @@
+(** Materialized views over the Web (paper Section 8). The whole ADM
+    representation of the site is stored locally, one page-relation
+    per page-scheme, with per-page access dates. Queries are planned
+    by Algorithm 1 and evaluated over the local store; each page is
+    checked with a light connection (HEAD) before its tuple is used,
+    and re-downloaded only when it changed — Function 2 (URLCheck) and
+    Algorithm 3 of the paper. Vanished links are deferred to the
+    CheckMissing structure and purged by an off-line sweep. *)
+
+type status = Unchecked | Checked | New | Missing
+
+type counters = {
+  mutable light_connections : int;
+  mutable downloads : int;
+  mutable local_hits : int;
+  mutable new_pages : int;
+  mutable missing_pages : int;
+}
+
+type t
+
+val materialize : Adm.Schema.t -> Websim.Http.t -> t
+(** Navigate the whole site once and store every page tuple. *)
+
+val counters : t -> counters
+val reset_counters : t -> unit
+val stored_tuple : t -> scheme:string -> url:string -> Adm.Value.tuple option
+val stored_pages : t -> string -> int
+val total_pages : t -> int
+val check_missing_backlog : t -> int
+val status_of : t -> string -> status
+
+val url_check : t -> scheme:string -> url:string -> Adm.Value.tuple option
+(** Function 2: return the up-to-date tuple, downloading only when the
+    light connection reports a change; [None] when the page is gone or
+    flagged missing. *)
+
+val source : t -> Eval.source
+(** The page source backed by the store (URLCheck per fetch). *)
+
+val query : ?max_age:int -> t -> Nalg.expr -> Adm.Relation.t
+(** Algorithm 3: reset the per-query status flags and evaluate.
+    [max_age] is a staleness tolerance in simulated clock ticks —
+    entries younger than it are used without any connection (the
+    paper's "controlled level of obsolescence"). *)
+
+type query_report = {
+  result : Adm.Relation.t;
+  light_connections : int;
+  downloads : int;
+  local_hits : int;
+}
+
+val query_counted : ?max_age:int -> t -> Nalg.expr -> query_report
+
+val offline_sweep : t -> int
+(** Process CheckMissing off-line; returns the number of pages that
+    were actually gone and got purged. *)
+
+val full_refresh : t -> unit
+(** Recrawl the site and replace the store (the paper's periodic
+    whole-view consistency pass). *)

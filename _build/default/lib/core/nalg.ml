@@ -1,0 +1,367 @@
+(* The Navigational Algebra (NALG, Section 4 of the paper): the
+   selection-projection-join algebra over nested relations extended
+   with two navigational operators,
+
+     unnest page  R ◦ L   — navigate inside a page's nested structure
+     follow link  R →L P  — navigate between pages along link L
+
+   Expressions are built over page-schemes of a web scheme. Every
+   page-scheme occurrence carries an alias (defaulting to the scheme
+   name) so that one scheme may appear several times in a plan; the
+   attributes an occurrence contributes are qualified by its alias,
+   e.g. "ProfPage.Name" or "ProfPage.CourseList.ToCourse" after an
+   unnest. *)
+
+type expr =
+  | Entry of { scheme : string; alias : string }
+      (* a page relation accessible by URL: an entry point *)
+  | External of { name : string; alias : string }
+      (* an external relation of the view; not computable until
+         replaced by a default navigation (rule 1) *)
+  | Select of Pred.t * expr
+  | Project of string list * expr
+  | Join of (string * string) list * expr * expr
+      (* equi-join on (left attr, right attr) pairs *)
+  | Unnest of expr * string (* R ◦ L, with L a full attribute name *)
+  | Follow of follow
+
+and follow = {
+  src : expr;
+  link : string; (* full name of the link attribute in [src] *)
+  scheme : string; (* target page-scheme *)
+  alias : string; (* alias qualifying the target's attributes *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let entry ?alias scheme =
+  Entry { scheme; alias = Option.value alias ~default:scheme }
+
+let external_ ?alias name =
+  External { name; alias = Option.value alias ~default:name }
+
+let select pred e = Select (pred, e)
+let project attrs e = Project (attrs, e)
+let join keys e1 e2 = Join (keys, e1, e2)
+let unnest e attr = Unnest (e, attr)
+
+let follow ?alias e link ~scheme =
+  Follow { src = e; link; scheme; alias = Option.value alias ~default:scheme }
+
+(* Infix helpers mirroring the paper's notation: [e /: l] is unnest
+   (R ◦ L, with [l] relative to the last alias) and [e @-> (l, p)] is
+   follow link. They are defined in {!Dsl} to keep the module surface
+   clean. *)
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | Entry _ | External _ -> acc
+  | Select (_, e1) | Project (_, e1) | Unnest (e1, _) -> fold f acc e1
+  | Follow { src; _ } -> fold f acc src
+  | Join (_, e1, e2) -> fold f (fold f acc e1) e2
+
+(* Bottom-up rebuild. *)
+let rec map f e =
+  let e' =
+    match e with
+    | Entry _ | External _ -> e
+    | Select (p, e1) -> Select (p, map f e1)
+    | Project (attrs, e1) -> Project (attrs, map f e1)
+    | Join (keys, e1, e2) -> Join (keys, map f e1, map f e2)
+    | Unnest (e1, a) -> Unnest (map f e1, a)
+    | Follow fl -> Follow { fl with src = map f fl.src }
+  in
+  f e'
+
+let size e = fold (fun n _ -> n + 1) 0 e
+
+(* Aliases in scope: alias -> page-scheme name. External occurrences
+   are reported with their relation name. *)
+let alias_env e =
+  fold
+    (fun acc node ->
+      match node with
+      | Entry { scheme; alias } -> (alias, scheme) :: acc
+      | Follow { scheme; alias; _ } -> (alias, scheme) :: acc
+      | External _ | Select _ | Project _ | Join _ | Unnest _ -> acc)
+    [] e
+
+let scheme_of_alias e alias = List.assoc_opt alias (alias_env e)
+
+let aliases e = List.map fst (alias_env e)
+
+let externals e =
+  fold
+    (fun acc node ->
+      match node with
+      | External { name; alias } -> (name, alias) :: acc
+      | Entry _ | Select _ | Project _ | Join _ | Unnest _ | Follow _ -> acc)
+    [] e
+  |> List.rev
+
+let is_computable e = externals e = []
+
+(* Split an attribute name into its alias and the remaining dotted
+   steps, given the aliases in scope. Aliases may themselves contain
+   no dots, but we match by longest prefix for safety. *)
+let split_attr known_aliases attr =
+  let parts = String.split_on_char '.' attr in
+  let rec try_prefix k =
+    if k = 0 then None
+    else
+      let prefix = String.concat "." (List.filteri (fun i _ -> i < k) parts) in
+      if List.mem prefix known_aliases then
+        Some (prefix, List.filteri (fun i _ -> i >= k) parts)
+      else try_prefix (k - 1)
+  in
+  try_prefix (List.length parts - 1)
+
+(* The dotted constraint path (scheme + steps) an attribute denotes,
+   resolving its alias against the expression's environment. *)
+let constraint_path_of_attr e attr =
+  let env = alias_env e in
+  match split_attr (List.map fst env) attr with
+  | Some (alias, steps) -> (
+    match List.assoc_opt alias env with
+    | Some scheme -> Some (Adm.Constraints.path scheme steps, alias)
+    | None -> None)
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Output attributes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Statically computed output attribute names of an expression; nested
+   (list) attributes are included with their type so unnest can be
+   checked. External relations contribute their attributes only after
+   binding, so here they contribute a placeholder. *)
+let rec output_attrs (schema : Adm.Schema.t) e : string list =
+  match e with
+  | Entry { scheme; alias } -> scheme_attrs schema ~scheme ~alias
+  | External { name; alias } -> [ alias ^ ".*" ^ name ]
+  | Select (_, e1) -> output_attrs schema e1
+  | Project (attrs, _) -> attrs
+  | Join (_, e1, e2) -> output_attrs schema e1 @ output_attrs schema e2
+  | Unnest (e1, attr) ->
+    let inner = unnested_attrs schema e1 attr in
+    List.filter (fun a -> not (String.equal a attr)) (output_attrs schema e1) @ inner
+  | Follow { src; scheme; alias; _ } ->
+    output_attrs schema src @ scheme_attrs schema ~scheme ~alias
+
+and scheme_attrs schema ~scheme ~alias =
+  let ps = Adm.Schema.find_scheme_exn schema scheme in
+  (alias ^ "." ^ Adm.Page_scheme.url_attr)
+  :: List.map
+       (fun (d : Adm.Page_scheme.attr_decl) -> alias ^ "." ^ d.Adm.Page_scheme.name)
+       (Adm.Page_scheme.attrs ps)
+
+(* Attributes exposed by unnesting [attr]: resolve its type through
+   the alias environment. *)
+and unnested_attrs schema e1 attr =
+  match constraint_path_of_attr e1 attr with
+  | None -> []
+  | Some (path, _alias) -> (
+    match Adm.Schema.find_scheme schema path.Adm.Constraints.scheme with
+    | None -> []
+    | Some ps -> (
+      match Adm.Page_scheme.resolve_path ps path.Adm.Constraints.steps with
+      | Some (Adm.Webtype.List fields) ->
+        List.map (fun (a, _) -> attr ^ "." ^ a) fields
+      | Some _ | None -> []))
+
+(* ------------------------------------------------------------------ *)
+(* Static well-formedness checking                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Verify that every operator only references attributes its input
+   provides, that unnests target list attributes, that follows target
+   link attributes of the declared scheme, and that entries are entry
+   points. Returns the problems found (empty = well-formed). *)
+let check (schema : Adm.Schema.t) (root : expr) : string list =
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun m -> errors := m :: !errors) fmt in
+  let resolve e attr =
+    match constraint_path_of_attr e attr with
+    | None -> None
+    | Some (path, _alias) -> (
+      match Adm.Schema.find_scheme schema path.Adm.Constraints.scheme with
+      | None -> None
+      | Some ps -> Adm.Page_scheme.resolve_path ps path.Adm.Constraints.steps)
+  in
+  let require_available e where attrs =
+    let out = output_attrs schema e in
+    List.iter
+      (fun a -> if not (List.mem a out) then err "%s references unavailable attribute %s" where a)
+      attrs
+  in
+  let rec go e =
+    match e with
+    | External _ -> err "external relation remains (not computable)"
+    | Entry { scheme; _ } -> (
+      match Adm.Schema.find_scheme schema scheme with
+      | None -> err "unknown page-scheme %s" scheme
+      | Some ps ->
+        if not (Adm.Page_scheme.is_entry_point ps) then
+          err "page-scheme %s is not an entry point" scheme)
+    | Select (p, e1) ->
+      require_available e1 "selection" (Pred.attrs p);
+      go e1
+    | Project (attrs, e1) ->
+      require_available e1 "projection" attrs;
+      go e1
+    | Join (keys, e1, e2) ->
+      require_available e1 "join (left)" (List.map fst keys);
+      require_available e2 "join (right)" (List.map snd keys);
+      (* output attributes must stay unambiguous *)
+      let o1 = output_attrs schema e1 and o2 = output_attrs schema e2 in
+      List.iter
+        (fun a ->
+          if List.mem a o1 then err "join produces ambiguous attribute %s" a)
+        o2;
+      go e1;
+      go e2
+    | Unnest (e1, attr) ->
+      require_available e1 "unnest" [ attr ];
+      (match resolve e1 attr with
+      | Some (Adm.Webtype.List _) | None -> ()
+      | Some ty ->
+        err "unnest of %s: not a list attribute (%s)" attr (Adm.Webtype.to_string ty));
+      go e1
+    | Follow { src; link; scheme; alias = _ } ->
+      require_available src "follow" [ link ];
+      (match resolve src link with
+      | Some (Adm.Webtype.Link target) ->
+        if not (String.equal target scheme) then
+          err "follow of %s reaches %s, plan says %s" link target scheme
+      | Some ty -> err "follow of %s: not a link attribute (%s)" link (Adm.Webtype.to_string ty)
+      | None -> ());
+      go src
+  in
+  go root;
+  List.rev !errors
+
+(* ------------------------------------------------------------------ *)
+(* Attribute renaming                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply an attribute-name rewriting function everywhere (predicates,
+   projections, join keys, unnest and link attributes). Aliases are
+   not touched; use [rename_alias] for that. *)
+let rename_attrs f e =
+  map
+    (function
+      | Select (p, e1) -> Select (Pred.map_attrs f p, e1)
+      | Project (attrs, e1) -> Project (List.map f attrs, e1)
+      | Join (keys, e1, e2) -> Join (List.map (fun (a, b) -> (f a, f b)) keys, e1, e2)
+      | Unnest (e1, a) -> Unnest (e1, f a)
+      | Follow fl -> Follow { fl with link = f fl.link }
+      | (Entry _ | External _) as leaf -> leaf)
+    e
+
+(* Rename one alias (and every attribute qualified by it). *)
+let rename_alias ~from ~into e =
+  let prefix = from ^ "." in
+  let ren a =
+    if String.equal a from then into
+    else if String.length a > String.length prefix
+            && String.sub a 0 (String.length prefix) = prefix then
+      into ^ "." ^ String.sub a (String.length prefix) (String.length a - String.length prefix)
+    else a
+  in
+  let e = rename_attrs ren e in
+  map
+    (function
+      | Entry { scheme; alias } when String.equal alias from -> Entry { scheme; alias = into }
+      | Follow fl when String.equal fl.alias from -> Follow { fl with alias = into }
+      | other -> other)
+    e
+
+(* Rename aliases so that none clashes with [taken]; returns the new
+   expression. Fresh aliases are "<alias>@<n>". *)
+let uniquify_aliases ~taken e =
+  let taken = ref taken in
+  let fresh alias =
+    if not (List.mem alias !taken) then begin
+      taken := alias :: !taken;
+      alias
+    end
+    else begin
+      let rec go n =
+        let candidate = Fmt.str "%s@%d" alias n in
+        if List.mem candidate !taken then go (n + 1) else candidate
+      in
+      let candidate = go 2 in
+      taken := candidate :: !taken;
+      candidate
+    end
+  in
+  List.fold_left
+    (fun e alias ->
+      let alias' = fresh alias in
+      if String.equal alias alias' then e else rename_alias ~from:alias ~into:alias' e)
+    e (aliases e)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp ppf = function
+  | Entry { scheme; alias } ->
+    if String.equal scheme alias then Fmt.string ppf scheme
+    else Fmt.pf ppf "%s as %s" scheme alias
+  | External { name; alias } ->
+    if String.equal name alias then Fmt.pf ppf "ext:%s" name
+    else Fmt.pf ppf "ext:%s as %s" name alias
+  | Select (p, e) -> Fmt.pf ppf "σ[%a](%a)" Pred.pp p pp e
+  | Project (attrs, e) ->
+    Fmt.pf ppf "π[%a](%a)" Fmt.(list ~sep:comma string) attrs pp e
+  | Join (keys, e1, e2) ->
+    let pp_key ppf (a, b) = Fmt.pf ppf "%s=%s" a b in
+    Fmt.pf ppf "(%a ⋈[%a] %a)" pp e1 Fmt.(list ~sep:comma pp_key) keys pp e2
+  | Unnest (e, a) -> Fmt.pf ppf "%a ◦ %s" pp e a
+  | Follow { src; link; scheme; alias } ->
+    if String.equal scheme alias then Fmt.pf ppf "%a →[%s] %s" pp src link scheme
+    else Fmt.pf ppf "%a →[%s] %s as %s" pp src link scheme alias
+
+let to_string e = Fmt.str "%a" pp e
+
+(* Canonical form for deduplication during plan enumeration. *)
+let canonical e = to_string e
+
+let equal e1 e2 = String.equal (canonical e1) (canonical e2)
+
+(* Indented query-plan tree, in the style of the paper's Figures 2–4
+   (unnest kept infix, link operators drawn as upward edges). *)
+let pp_plan ppf e =
+  let rec go indent ppf e =
+    let pad = String.make indent ' ' in
+    match e with
+    | Entry { scheme; alias } ->
+      Fmt.pf ppf "%s%s%s@," pad scheme
+        (if String.equal scheme alias then "" else " as " ^ alias)
+    | External { name; alias } ->
+      Fmt.pf ppf "%sext:%s%s@," pad name
+        (if String.equal name alias then "" else " as " ^ alias)
+    | Select (p, e1) ->
+      Fmt.pf ppf "%sσ %a@,%a" pad Pred.pp p (go (indent + 2)) e1
+    | Project (attrs, e1) ->
+      Fmt.pf ppf "%sπ %a@,%a" pad Fmt.(list ~sep:comma string) attrs (go (indent + 2)) e1
+    | Join (keys, e1, e2) ->
+      let pp_key ppf (a, b) = Fmt.pf ppf "%s=%s" a b in
+      Fmt.pf ppf "%s⋈ %a@,%a%a" pad
+        Fmt.(list ~sep:comma pp_key)
+        keys (go (indent + 2)) e1 (go (indent + 2)) e2
+    | Unnest (e1, a) -> Fmt.pf ppf "%s◦ %s@,%a" pad a (go (indent + 2)) e1
+    | Follow { src; link; scheme; alias } ->
+      Fmt.pf ppf "%s→ %s [via %s]%s@,%a" pad scheme link
+        (if String.equal scheme alias then "" else " as " ^ alias)
+        (go (indent + 2)) src
+  in
+  Fmt.pf ppf "@[<v>%a@]" (go 0) e

@@ -1,0 +1,97 @@
+(** The Navigational Algebra (NALG, paper Section 4): selection,
+    projection and join over nested relations, extended with the two
+    navigational operators
+
+    - {e unnest page} [R ◦ L] — navigate inside a page's nested
+      structure;
+    - {e follow link} [R →L P] — navigate between pages, joining the
+      source on [R.L = P.URL].
+
+    Every page-scheme occurrence carries an {e alias} (defaulting to
+    the scheme name); the attributes it contributes are qualified by
+    that alias, e.g. ["ProfPage.Rank"] or
+    ["ProfPage.CourseList.ToCourse"] after an unnest, so a scheme may
+    occur several times in one plan. *)
+
+type expr =
+  | Entry of { scheme : string; alias : string }
+      (** a page relation reachable by URL: an entry point *)
+  | External of { name : string; alias : string }
+      (** an external relation of the view; must be replaced by a
+          default navigation (rule 1) before evaluation *)
+  | Select of Pred.t * expr
+  | Project of string list * expr
+  | Join of (string * string) list * expr * expr
+      (** equi-join on (left attribute, right attribute) pairs *)
+  | Unnest of expr * string  (** [R ◦ L], [L] a full attribute name *)
+  | Follow of follow
+
+and follow = {
+  src : expr;
+  link : string;  (** full name of the link attribute in [src] *)
+  scheme : string;  (** target page-scheme *)
+  alias : string;  (** alias qualifying the target's attributes *)
+}
+
+(** {1 Constructors} *)
+
+val entry : ?alias:string -> string -> expr
+val external_ : ?alias:string -> string -> expr
+val select : Pred.t -> expr -> expr
+val project : string list -> expr -> expr
+val join : (string * string) list -> expr -> expr -> expr
+val unnest : expr -> string -> expr
+val follow : ?alias:string -> expr -> string -> scheme:string -> expr
+
+(** {1 Traversals} *)
+
+val fold : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+val map : (expr -> expr) -> expr -> expr
+(** Bottom-up rebuild: [f] is applied to every node after its children
+    have been rebuilt. *)
+
+val size : expr -> int
+
+val alias_env : expr -> (string * string) list
+(** Aliases in scope, as [(alias, page-scheme name)]. *)
+
+val scheme_of_alias : expr -> string -> string option
+val aliases : expr -> string list
+val externals : expr -> (string * string) list
+val is_computable : expr -> bool
+(** No [External] leaves remain (all leaves are entry points). *)
+
+val split_attr : string list -> string -> (string * string list) option
+(** Split an attribute name into its (longest-prefix) alias and
+    remaining dotted steps. *)
+
+val constraint_path_of_attr :
+  expr -> string -> (Adm.Constraints.path * string) option
+(** The constraint path (scheme + steps) an attribute denotes,
+    resolving its alias, plus that alias. *)
+
+val output_attrs : Adm.Schema.t -> expr -> string list
+(** Statically computed output attribute names. *)
+
+val check : Adm.Schema.t -> expr -> string list
+(** Static well-formedness: every operator references only available
+    attributes, unnests target lists, follows target link attributes
+    of the declared scheme, entries are entry points, no externals
+    remain. Returns the problems found (empty = well-formed). *)
+
+(** {1 Renaming} *)
+
+val rename_attrs : (string -> string) -> expr -> expr
+val rename_alias : from:string -> into:string -> expr -> expr
+val uniquify_aliases : taken:string list -> expr -> expr
+
+(** {1 Printing} *)
+
+val pp : expr Fmt.t
+val to_string : expr -> string
+val canonical : expr -> string
+(** Canonical form used for plan deduplication. *)
+
+val equal : expr -> expr -> bool
+val pp_plan : expr Fmt.t
+(** Indented query-plan tree in the style of the paper's Figures 2–4. *)

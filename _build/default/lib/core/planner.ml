@@ -1,0 +1,147 @@
+(* Plan selection (Algorithm 1, Section 6.3):
+
+   1. translate the conjunctive query into relational algebra over
+      external relations;
+   2. replace each external relation with its default navigations in
+      all possible ways (rule 1);
+   3. eliminate repeated navigations (rule 4);
+   4. push and prune joins (rules 8 and 9);
+   5. push selections (rule 6 + commutation);
+   6/7. push projections and eliminate unnecessary navigations
+      (rules 7, 3, 5 — the [prune] pass);
+   8. estimate the cost of every candidate and pick the cheapest. *)
+
+type plan = { expr : Nalg.expr; cost : float; card : float }
+
+type outcome = {
+  best : plan;
+  candidates : plan list; (* all candidates, sorted by cost *)
+  explored : int;
+  select : string list; (* the query's output attributes, in order *)
+}
+
+(* Candidate plans name their output columns after the page-scheme
+   occurrences they navigate, which differ between plans (aliasing);
+   the projection order, however, always follows the query's SELECT
+   list. Rebuild the header positionally with the user's names — this
+   also copes with plans where rule 4 merged two SELECT columns onto
+   the same plan attribute (duplicate projection names). *)
+let rename_output (o : outcome) rel =
+  let attrs = Adm.Relation.attrs rel in
+  if List.length attrs = List.length o.select then
+    Adm.Relation.make o.select
+      (List.map
+         (fun row -> List.map2 (fun out (_, v) -> (out, v)) o.select row)
+         (Adm.Relation.rows rel))
+  else rel
+
+(* Closure of a set of expressions under one-step rewritings, with
+   deduplication by canonical form and a safety cap. *)
+let closure ?(cap = 400) (rules : (Nalg.expr -> Nalg.expr list) list) (seeds : Nalg.expr list) =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let queue = Queue.create () in
+  let add e =
+    let k = Nalg.canonical e in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      out := e :: !out;
+      Queue.add e queue
+    end
+  in
+  List.iter add seeds;
+  while (not (Queue.is_empty queue)) && Hashtbl.length seen < cap do
+    let e = Queue.pop queue in
+    List.iter (fun rule -> List.iter add (rule e)) rules
+  done;
+  List.rev !out
+
+(* Apply a deterministic rule to fixpoint (first rewrite each round). *)
+let fixpoint ?(max_rounds = 50) (rule : Nalg.expr -> Nalg.expr list) e =
+  let rec go n e =
+    if n = 0 then e
+    else
+      match rule e with
+      | [] -> e
+      | e' :: _ -> go (n - 1) e'
+  in
+  go max_rounds e
+
+let enumerate ?(pointer_rules = true) ?(constraint_selections = true)
+    (schema : Adm.Schema.t) (stats : Stats.t) (registry : View.registry)
+    (q : Conjunctive.t) : outcome =
+  (* [pointer_rules] and [constraint_selections] exist for ablation
+     studies: without rules 8/9 (resp. rule 6) the planner falls back
+     to the constraint-blind plans. *)
+  let base = Conjunctive.to_algebra q in
+  (* Step 2: rule 1 *)
+  let expanded = View.expand registry base in
+  (* Step 3: rule 4 to fixpoint on each expansion (cheap first pass) *)
+  let merged = List.map (fixpoint (Rewrite.rule4 schema)) expanded in
+  (* Step 4: closure under join reordering and rules 4, 8, 9 (and 2);
+     reordering exposes repeated / joinable navigations that the
+     left-deep FROM-order tree hides *)
+  let join_rules =
+    [
+      Rewrite.rule4 schema;
+      Rewrite.join_commute schema;
+      Rewrite.join_rotate schema;
+    ]
+    @
+    if pointer_rules then
+      [ Rewrite.rule8 schema; Rewrite.rule9 schema; Rewrite.rule2 schema ]
+    else []
+  in
+  let with_joins = closure ~cap:1500 join_rules merged in
+  (* Step 5: closure under rule 6, then sink selections *)
+  let with_selections =
+    (if constraint_selections then closure [ Rewrite.rule6 schema ] with_joins
+     else with_joins)
+    |> List.map (Rewrite.sink_selections schema)
+  in
+  (* Steps 6/7: move projected attributes to the source side of link
+     constraints (rule 7), then prune unneeded unnests and navigations
+     — together these drop navigations that only read replicated
+     values *)
+  let with_projections =
+    (if constraint_selections then closure [ Rewrite.rule7_replace schema ] with_selections
+     else with_selections)
+    |> List.map (Rewrite.prune schema)
+  in
+  let pruned = with_projections in
+  (* dedup once more; estimate; sort *)
+  let seen = Hashtbl.create 64 in
+  let candidates =
+    List.filter
+      (fun e ->
+        let k = Nalg.canonical e in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.replace seen k ();
+          true
+        end)
+      pruned
+    |> List.filter Nalg.is_computable
+    |> List.map (fun e ->
+           let est = Cost.estimate schema stats e e in
+           { expr = e; cost = est.Cost.cost; card = est.Cost.card })
+    |> List.sort (fun p1 p2 -> Float.compare p1.cost p2.cost)
+  in
+  match candidates with
+  | [] -> invalid_arg "Planner.enumerate: no computable plan"
+  | best :: _ ->
+    { best; candidates; explored = List.length pruned; select = q.Conjunctive.select }
+
+let plan_sql ?pointer_rules ?constraint_selections schema stats registry sql =
+  enumerate ?pointer_rules ?constraint_selections schema stats registry
+    (Sql_parser.parse registry sql)
+
+(* Plan and execute a SQL query against a page source. Returns the
+   chosen plan and the result. *)
+let run schema stats registry source sql =
+  let outcome = plan_sql schema stats registry sql in
+  let result = rename_output outcome (Eval.eval schema source outcome.best.expr) in
+  (outcome, result)
+
+let pp_plan ppf p =
+  Fmt.pf ppf "@[<v>cost=%.2f est_card=%.2f@,%a@]" p.cost p.card Nalg.pp_plan p.expr

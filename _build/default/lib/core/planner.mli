@@ -1,0 +1,51 @@
+(** Plan selection (paper Algorithm 1, Section 6.3): translate the
+    conjunctive query to algebra over external relations, expand
+    default navigations (rule 1), eliminate repeated navigations
+    (rule 4), push and prune joins (rules 8/9 with join reordering),
+    push selections (rule 6 + commutation) and projections (rules
+    3/5/7 via pruning), then cost every candidate and keep the
+    cheapest. *)
+
+type plan = { expr : Nalg.expr; cost : float; card : float }
+
+type outcome = {
+  best : plan;
+  candidates : plan list;  (** all candidates, sorted by cost *)
+  explored : int;
+  select : string list;  (** the query's output attributes, in order *)
+}
+
+val rename_output : outcome -> Adm.Relation.t -> Adm.Relation.t
+(** Rename a result header positionally back to the query's SELECT
+    names (plans name columns after the page occurrences they
+    navigate, which differ between candidates). *)
+
+val closure :
+  ?cap:int -> (Nalg.expr -> Nalg.expr list) list -> Nalg.expr list ->
+  Nalg.expr list
+(** Closure of a seed set under one-step rewritings, deduplicated by
+    canonical form, with a safety cap. *)
+
+val fixpoint :
+  ?max_rounds:int -> (Nalg.expr -> Nalg.expr list) -> Nalg.expr -> Nalg.expr
+
+val enumerate :
+  ?pointer_rules:bool ->
+  ?constraint_selections:bool ->
+  Adm.Schema.t -> Stats.t -> View.registry -> Conjunctive.t -> outcome
+(** Raises [Invalid_argument] when no computable plan exists.
+    [pointer_rules] (default true) enables rules 2/8/9;
+    [constraint_selections] (default true) enables rule 6 — both exist
+    for ablation studies. *)
+
+val plan_sql :
+  ?pointer_rules:bool ->
+  ?constraint_selections:bool ->
+  Adm.Schema.t -> Stats.t -> View.registry -> string -> outcome
+
+val run :
+  Adm.Schema.t -> Stats.t -> View.registry -> Eval.source -> string ->
+  outcome * Adm.Relation.t
+(** Plan, execute the best plan, rename the output columns. *)
+
+val pp_plan : plan Fmt.t

@@ -1,0 +1,77 @@
+(* Selection predicates: conjunctions of comparison atoms over
+   attribute names (full dotted paths) and constants. *)
+
+type operand = Attr of string | Const of Adm.Value.t
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type atom = { left : operand; cmp : cmp; right : operand }
+
+type t = atom list (* conjunction; [] = true *)
+
+let atom left cmp right = { left; cmp; right }
+let eq_const attr v = { left = Attr attr; cmp = Eq; right = Const v }
+let eq_attrs a b = { left = Attr a; cmp = Eq; right = Attr b }
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let operand_attrs = function Attr a -> [ a ] | Const _ -> []
+
+let atom_attrs a = operand_attrs a.left @ operand_attrs a.right
+
+let attrs (p : t) = List.concat_map atom_attrs p
+
+let eval_cmp cmp (v1 : Adm.Value.t) (v2 : Adm.Value.t) =
+  (* Null never satisfies any comparison, as in SQL. *)
+  if Adm.Value.is_null v1 || Adm.Value.is_null v2 then false
+  else
+    let c = Adm.Value.compare v1 v2 in
+    match cmp with
+    | Eq -> c = 0
+    | Neq -> c <> 0
+    | Lt -> c < 0
+    | Le -> c <= 0
+    | Gt -> c > 0
+    | Ge -> c >= 0
+
+let eval_operand (tuple : Adm.Value.tuple) = function
+  | Const v -> v
+  | Attr a -> ( match Adm.Value.find tuple a with Some v -> v | None -> Adm.Value.Null)
+
+let eval_atom a tuple = eval_cmp a.cmp (eval_operand tuple a.left) (eval_operand tuple a.right)
+
+let eval (p : t) tuple = List.for_all (fun a -> eval_atom a tuple) p
+
+let subst_operand ~from ~into = function
+  | Attr a when String.equal a from -> Attr into
+  | other -> other
+
+let subst_attr ~from ~into (p : t) =
+  List.map
+    (fun a ->
+      { a with left = subst_operand ~from ~into a.left; right = subst_operand ~from ~into a.right })
+    p
+
+(* Rename every attribute with a function (used for alias merging). *)
+let map_attrs f (p : t) =
+  let map_op = function Attr a -> Attr (f a) | Const v -> Const v in
+  List.map (fun a -> { a with left = map_op a.left; right = map_op a.right }) p
+
+let pp_operand ppf = function
+  | Attr a -> Fmt.string ppf a
+  | Const v -> Adm.Value.pp ppf v
+
+let pp_atom ppf a =
+  Fmt.pf ppf "%a %s %a" pp_operand a.left (cmp_to_string a.cmp) pp_operand a.right
+
+let pp ppf = function
+  | [] -> Fmt.string ppf "true"
+  | p -> Fmt.list ~sep:(Fmt.any " ∧ ") pp_atom ppf p
+
+let to_string p = Fmt.str "%a" pp p

@@ -1,0 +1,30 @@
+(** Selection predicates: conjunctions of comparisons over attribute
+    names (full dotted paths) and constants. Null never satisfies a
+    comparison, as in SQL. *)
+
+type operand = Attr of string | Const of Adm.Value.t
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+type atom = { left : operand; cmp : cmp; right : operand }
+
+type t = atom list
+(** A conjunction; [[]] is true. *)
+
+val atom : operand -> cmp -> operand -> atom
+val eq_const : string -> Adm.Value.t -> atom
+val eq_attrs : string -> string -> atom
+
+val cmp_to_string : cmp -> string
+val atom_attrs : atom -> string list
+val attrs : t -> string list
+
+val eval_cmp : cmp -> Adm.Value.t -> Adm.Value.t -> bool
+val eval_atom : atom -> Adm.Value.tuple -> bool
+val eval : t -> Adm.Value.tuple -> bool
+
+val subst_attr : from:string -> into:string -> t -> t
+val map_attrs : (string -> string) -> t -> t
+
+val pp_operand : operand Fmt.t
+val pp_atom : atom Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string

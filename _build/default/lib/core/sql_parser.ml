@@ -1,0 +1,216 @@
+(* Recursive-descent parser for the conjunctive SQL subset:
+
+     SELECT <cols | *> FROM rel [alias] (, rel [alias])*
+       [WHERE cond (AND cond)*]
+
+   Columns are [alias.attr] or bare [attr] (resolved against the view
+   registry when unambiguous). Conditions compare columns with
+   columns or literals using =, <>, <, <=, >, >=. *)
+
+open Sql_lexer
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail "expected %a, found %a" Sql_lexer.pp_token tok Sql_lexer.pp_token (peek st)
+
+let ident st =
+  match peek st with
+  | IDENT s ->
+    advance st;
+    s
+  | t -> fail "expected identifier, found %a" Sql_lexer.pp_token t
+
+(* column := IDENT | IDENT '.' IDENT *)
+type raw_column = { qualifier : string option; attr : string }
+
+let column st =
+  let first = ident st in
+  if peek st = DOT then begin
+    advance st;
+    let second = ident st in
+    { qualifier = Some first; attr = second }
+  end
+  else { qualifier = None; attr = first }
+
+type raw_operand = Col of raw_column | Str of string | Num of int
+
+let operand st =
+  match peek st with
+  | STRING s ->
+    advance st;
+    Str s
+  | NUMBER i ->
+    advance st;
+    Num i
+  | IDENT _ -> Col (column st)
+  | t -> fail "expected operand, found %a" Sql_lexer.pp_token t
+
+let comparison st =
+  match peek st with
+  | EQ ->
+    advance st;
+    Pred.Eq
+  | NEQ ->
+    advance st;
+    Pred.Neq
+  | LT ->
+    advance st;
+    Pred.Lt
+  | LE ->
+    advance st;
+    Pred.Le
+  | GT ->
+    advance st;
+    Pred.Gt
+  | GE ->
+    advance st;
+    Pred.Ge
+  | t -> fail "expected comparison operator, found %a" Sql_lexer.pp_token t
+
+type raw_cond = { lhs : raw_operand; op : Pred.cmp; rhs : raw_operand }
+
+type raw_query = {
+  raw_select : raw_column list option; (* None = '*' *)
+  raw_from : (string * string) list; (* relation, alias *)
+  raw_where : raw_cond list;
+}
+
+let parse_raw input =
+  let tokens =
+    try Sql_lexer.tokenize input
+    with Sql_lexer.Lex_error msg -> fail "lexical error: %s" msg
+  in
+  let st = { tokens } in
+  expect st SELECT;
+  let raw_select =
+    if peek st = STAR then begin
+      advance st;
+      None
+    end
+    else begin
+      let rec cols acc =
+        let c = column st in
+        if peek st = COMMA then begin
+          advance st;
+          cols (c :: acc)
+        end
+        else List.rev (c :: acc)
+      in
+      Some (cols [])
+    end
+  in
+  expect st FROM;
+  let rec froms acc =
+    let rel = ident st in
+    let alias =
+      match peek st with
+      | AS ->
+        advance st;
+        ident st
+      | IDENT _ -> ident st
+      | _ -> rel
+    in
+    let acc = (rel, alias) :: acc in
+    if peek st = COMMA then begin
+      advance st;
+      froms acc
+    end
+    else List.rev acc
+  in
+  let raw_from = froms [] in
+  let raw_where =
+    if peek st = WHERE then begin
+      advance st;
+      let rec conds acc =
+        let lhs = operand st in
+        let op = comparison st in
+        let rhs = operand st in
+        let acc = { lhs; op; rhs } :: acc in
+        if peek st = AND then begin
+          advance st;
+          conds acc
+        end
+        else List.rev acc
+      in
+      conds []
+    end
+    else []
+  in
+  expect st EOF;
+  { raw_select; raw_from; raw_where }
+
+(* ------------------------------------------------------------------ *)
+(* Name resolution against the view registry                           *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_column (registry : View.registry) (from : (string * string) list)
+    (c : raw_column) =
+  match c.qualifier with
+  | Some alias -> (
+    match List.find_opt (fun (_, a) -> String.equal a alias) from with
+    | Some _ -> alias ^ "." ^ c.attr
+    | None -> fail "unknown alias %s in column %s.%s" alias alias c.attr)
+  | None -> (
+    (* unqualified: unique relation in scope carrying the attribute *)
+    let owners =
+      List.filter
+        (fun (rel, _alias) ->
+          match View.find registry rel with
+          | Some r -> List.mem c.attr r.View.rel_attrs
+          | None -> false)
+        from
+    in
+    match owners with
+    | [ (_, alias) ] -> alias ^ "." ^ c.attr
+    | [] -> fail "no relation in scope has attribute %s" c.attr
+    | _ :: _ :: _ -> fail "ambiguous attribute %s" c.attr)
+
+let resolve_operand registry from = function
+  | Col c -> Pred.Attr (resolve_column registry from c)
+  | Str s -> Pred.Const (Adm.Value.Text s)
+  | Num i -> Pred.Const (Adm.Value.Int i)
+
+let parse (registry : View.registry) input : Conjunctive.t =
+  let raw = parse_raw input in
+  List.iter
+    (fun (rel, _) ->
+      if View.find registry rel = None then fail "unknown relation %s" rel)
+    raw.raw_from;
+  let select =
+    match raw.raw_select with
+    | Some cols -> List.map (resolve_column registry raw.raw_from) cols
+    | None ->
+      (* '*': every attribute of every FROM relation *)
+      List.concat_map
+        (fun (rel, alias) ->
+          match View.find registry rel with
+          | Some r -> List.map (fun a -> alias ^ "." ^ a) r.View.rel_attrs
+          | None -> [])
+        raw.raw_from
+  in
+  let where =
+    List.map
+      (fun c ->
+        {
+          Pred.left = resolve_operand registry raw.raw_from c.lhs;
+          cmp = c.op;
+          right = resolve_operand registry raw.raw_from c.rhs;
+        })
+      raw.raw_where
+  in
+  let from = List.map (fun (rel, alias) -> Conjunctive.source ~alias rel) raw.raw_from in
+  let q = Conjunctive.make ~select ~from ~where in
+  match Conjunctive.validate registry q with
+  | [] -> q
+  | errors -> fail "%s" (String.concat "; " errors)

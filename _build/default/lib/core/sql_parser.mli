@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the conjunctive SQL subset:
+
+    {v SELECT <cols | *> FROM rel [alias] (, rel [alias])*
+       [WHERE cond (AND cond)*] v}
+
+    Columns are [alias.attr] or bare [attr] (resolved against the view
+    registry when unambiguous); conditions compare columns with
+    columns or literals using [=], [<>], [<], [<=], [>], [>=]. *)
+
+exception Parse_error of string
+
+type raw_column = { qualifier : string option; attr : string }
+type raw_operand = Col of raw_column | Str of string | Num of int
+type raw_cond = { lhs : raw_operand; op : Pred.cmp; rhs : raw_operand }
+
+type raw_query = {
+  raw_select : raw_column list option;  (** [None] = [*] *)
+  raw_from : (string * string) list;  (** (relation, alias) *)
+  raw_where : raw_cond list;
+}
+
+val parse_raw : string -> raw_query
+(** Syntax only; raises {!Parse_error} (lexical errors included). *)
+
+val parse : View.registry -> string -> Conjunctive.t
+(** Parse and resolve names against the registry; raises
+    {!Parse_error} on unknown or ambiguous names. *)

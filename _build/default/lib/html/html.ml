@@ -1,0 +1,343 @@
+(* A small but real HTML toolkit: tokenizer, tree parser, DOM queries
+   and a printer. It covers the HTML subset the site generators emit
+   and is forgiving about the constructs 1998-era pages actually used:
+   unquoted attribute values, void elements, comments, entities. *)
+
+type attrs = (string * string) list
+
+type node =
+  | Element of string * attrs * node list
+  | Text of string
+  | Comment of string
+
+type doc = node list
+
+(* ------------------------------------------------------------------ *)
+(* Entities                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '&' then begin
+      match String.index_from_opt s i ';' with
+      | Some j when j - i <= 8 ->
+        let entity = String.sub s (i + 1) (j - i - 1) in
+        let known =
+          match entity with
+          | "amp" -> Some "&"
+          | "lt" -> Some "<"
+          | "gt" -> Some ">"
+          | "quot" -> Some "\""
+          | "apos" -> Some "'"
+          | "nbsp" -> Some " "
+          | _ ->
+            if String.length entity > 1 && entity.[0] = '#' then
+              match int_of_string_opt (String.sub entity 1 (String.length entity - 1)) with
+              | Some code when code < 128 -> Some (String.make 1 (Char.chr code))
+              | _ -> None
+            else None
+        in
+        (match known with
+        | Some repl ->
+          Buffer.add_string buf repl;
+          go (j + 1)
+        | None ->
+          Buffer.add_char buf '&';
+          go (i + 1))
+      | _ ->
+        Buffer.add_char buf '&';
+        go (i + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tok_open of string * attrs * bool (* name, attrs, self-closing *)
+  | Tok_close of string
+  | Tok_text of string
+  | Tok_comment of string
+  | Tok_doctype of string
+
+exception Parse_error of string
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = ':'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec skip_space i = if i < n && is_space input.[i] then skip_space (i + 1) else i in
+  let read_name i =
+    let rec go j = if j < n && is_name_char input.[j] then go (j + 1) else j in
+    let j = go i in
+    (String.lowercase_ascii (String.sub input i (j - i)), j)
+  in
+  let read_attr_value i =
+    if i < n && (input.[i] = '"' || input.[i] = '\'') then begin
+      let quote = input.[i] in
+      match String.index_from_opt input (i + 1) quote with
+      | Some j -> (unescape (String.sub input (i + 1) (j - i - 1)), j + 1)
+      | None -> raise (Parse_error "unterminated attribute value")
+    end
+    else begin
+      let rec go j = if j < n && (not (is_space input.[j])) && input.[j] <> '>' then go (j + 1) else j in
+      let j = go i in
+      (unescape (String.sub input i (j - i)), j)
+    end
+  in
+  let rec read_attrs i acc =
+    let i = skip_space i in
+    if i >= n then raise (Parse_error "unterminated tag")
+    else if input.[i] = '>' then (List.rev acc, i + 1, false)
+    else if input.[i] = '/' && i + 1 < n && input.[i + 1] = '>' then (List.rev acc, i + 2, true)
+    else begin
+      let name, i = read_name i in
+      if String.equal name "" then raise (Parse_error "bad attribute name");
+      let i = skip_space i in
+      if i < n && input.[i] = '=' then begin
+        let i = skip_space (i + 1) in
+        let v, i = read_attr_value i in
+        read_attrs i ((name, v) :: acc)
+      end
+      else read_attrs i ((name, "") :: acc)
+    end
+  in
+  let rec go i =
+    if i >= n then ()
+    else if input.[i] = '<' then begin
+      if i + 3 < n && String.sub input i 4 = "<!--" then begin
+        let close =
+          let rec find j =
+            if j + 2 >= n then raise (Parse_error "unterminated comment")
+            else if String.sub input j 3 = "-->" then j
+            else find (j + 1)
+          in
+          find (i + 4)
+        in
+        emit (Tok_comment (String.sub input (i + 4) (close - i - 4)));
+        go (close + 3)
+      end
+      else if i + 1 < n && input.[i + 1] = '!' then begin
+        match String.index_from_opt input i '>' with
+        | Some j ->
+          emit (Tok_doctype (String.sub input (i + 2) (j - i - 2)));
+          go (j + 1)
+        | None -> raise (Parse_error "unterminated doctype")
+      end
+      else if i + 1 < n && input.[i + 1] = '/' then begin
+        let name, j = read_name (i + 2) in
+        let j = skip_space j in
+        if j < n && input.[j] = '>' then begin
+          emit (Tok_close name);
+          go (j + 1)
+        end
+        else raise (Parse_error ("bad close tag </" ^ name))
+      end
+      else begin
+        let name, j = read_name (i + 1) in
+        if String.equal name "" then begin
+          (* A lone '<' in text *)
+          emit (Tok_text "<");
+          go (i + 1)
+        end
+        else begin
+          let attrs, j, self = read_attrs j [] in
+          emit (Tok_open (name, attrs, self));
+          go j
+        end
+      end
+    end
+    else begin
+      let next = match String.index_from_opt input i '<' with Some j -> j | None -> n in
+      let text = String.sub input i (next - i) in
+      if String.exists (fun c -> not (is_space c)) text then emit (Tok_text (unescape text));
+      go next
+    end
+  in
+  go 0;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let void_elements =
+  [ "br"; "hr"; "img"; "input"; "meta"; "link"; "area"; "base"; "col"; "embed"; "source"; "wbr" ]
+
+let is_void name = List.mem name void_elements
+
+(* Build a tree from the token stream. Unmatched close tags are
+   ignored; elements left open at end-of-input are closed implicitly,
+   as browsers do. *)
+let parse input =
+  let tokens = tokenize input in
+  (* children accumulates reversed; stack holds (name, attrs, children-so-far) *)
+  let rec close_to name stack =
+    match stack with
+    | (n, attrs, children) :: (pn, pattrs, pchildren) :: rest when not (String.equal n name) ->
+      (* implicit close of n *)
+      close_to name ((pn, pattrs, Element (n, attrs, List.rev children) :: pchildren) :: rest)
+    | other -> other
+  in
+  let push_node node = function
+    | (n, attrs, children) :: rest -> (n, attrs, node :: children) :: rest
+    | [] -> [ ("#root", [], [ node ]) ]
+  in
+  let stack = ref [ ("#root", [], []) ] in
+  List.iter
+    (fun tok ->
+      match tok with
+      | Tok_doctype _ -> ()
+      | Tok_comment c -> stack := push_node (Comment c) !stack
+      | Tok_text t -> stack := push_node (Text t) !stack
+      | Tok_open (name, attrs, self) ->
+        if self || is_void name then stack := push_node (Element (name, attrs, [])) !stack
+        else stack := (name, attrs, []) :: !stack
+      | Tok_close name ->
+        if is_void name then ()
+        else if List.exists (fun (n, _, _) -> String.equal n name) !stack then begin
+          match close_to name !stack with
+          | (n, attrs, children) :: rest when String.equal n name ->
+            stack := push_node (Element (n, attrs, List.rev children)) rest
+          | other -> stack := other
+        end)
+    tokens;
+  (* implicitly close anything left open *)
+  let rec finish = function
+    | [ ("#root", _, children) ] -> List.rev children
+    | (n, attrs, children) :: rest ->
+      finish (push_node (Element (n, attrs, List.rev children)) rest)
+    | [] -> []
+  in
+  finish !stack
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec print_node buf = function
+  | Text t -> Buffer.add_string buf (escape t)
+  | Comment c ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf c;
+    Buffer.add_string buf "-->"
+  | Element (name, attrs, children) ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    List.iter
+      (fun (a, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf a;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape v);
+        Buffer.add_char buf '"')
+      attrs;
+    if is_void name && children = [] then Buffer.add_string buf ">"
+    else begin
+      Buffer.add_char buf '>';
+      List.iter (print_node buf) children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '>'
+    end
+
+let to_string nodes =
+  let buf = Buffer.create 1024 in
+  List.iter (print_node buf) nodes;
+  Buffer.contents buf
+
+let doc_to_string ?(title = "") body =
+  let head = Element ("head", [], [ Element ("title", [], [ Text title ]) ]) in
+  let html = Element ("html", [], [ head; Element ("body", [], body) ]) in
+  "<!DOCTYPE html>" ^ to_string [ html ]
+
+(* ------------------------------------------------------------------ *)
+(* DOM queries                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let tag = function Element (n, _, _) -> Some n | Text _ | Comment _ -> None
+let children = function Element (_, _, c) -> c | Text _ | Comment _ -> []
+let attr name = function
+  | Element (_, attrs, _) -> List.assoc_opt name attrs
+  | Text _ | Comment _ -> None
+
+let classes node =
+  match attr "class" node with
+  | Some c -> String.split_on_char ' ' c |> List.filter (fun s -> s <> "")
+  | None -> []
+
+let has_class c node = List.mem c (classes node)
+
+let rec inner_text node =
+  match node with
+  | Text t -> t
+  | Comment _ -> ""
+  | Element (_, _, children) -> String.concat "" (List.map inner_text children)
+
+(* Depth-first search over a node list. *)
+let rec find_all pred nodes =
+  List.concat_map
+    (fun node ->
+      let here = if pred node then [ node ] else [] in
+      here @ find_all pred (children node))
+    nodes
+
+let find_first pred nodes =
+  match find_all pred nodes with [] -> None | node :: _ -> Some node
+
+let by_tag name nodes =
+  find_all (fun node -> match tag node with Some t -> String.equal t name | None -> false) nodes
+
+let by_class c nodes = find_all (has_class c) nodes
+
+let by_tag_class name c nodes =
+  find_all
+    (fun node ->
+      (match tag node with Some t -> String.equal t name | None -> false) && has_class c node)
+    nodes
+
+(* Immediate element children only (no recursion): used by wrappers to
+   respect nesting levels. *)
+let child_elements node =
+  List.filter (fun n -> tag n <> None) (children node)
+
+let child_by_class c node = List.filter (has_class c) (child_elements node)
+
+let node_count nodes =
+  let rec count node =
+    1 + List.fold_left (fun acc child -> acc + count child) 0 (children node)
+  in
+  List.fold_left (fun acc node -> acc + count node) 0 nodes
+
+let pp ppf nodes = Fmt.string ppf (to_string nodes)

@@ -1,0 +1,56 @@
+(** A small HTML toolkit: tokenizer, forgiving tree parser, DOM
+    queries and a printer. Covers the subset the site generators emit
+    plus common 1998-era laxities (unquoted attributes, void elements,
+    implicit closes). *)
+
+type attrs = (string * string) list
+
+type node =
+  | Element of string * attrs * node list
+  | Text of string
+  | Comment of string
+
+type doc = node list
+
+exception Parse_error of string
+
+val escape : string -> string
+val unescape : string -> string
+
+(** Tokenizer (exposed for tests). *)
+
+type token =
+  | Tok_open of string * attrs * bool  (** name, attrs, self-closing *)
+  | Tok_close of string
+  | Tok_text of string
+  | Tok_comment of string
+  | Tok_doctype of string
+
+val tokenize : string -> token list
+val is_void : string -> bool
+
+val parse : string -> doc
+(** Never raises on well-nested input; unmatched close tags are
+    dropped and open elements are closed implicitly at end of input. *)
+
+val to_string : doc -> string
+val doc_to_string : ?title:string -> doc -> string
+(** Wraps a body in [<!DOCTYPE html><html><head>…</head><body>…]. *)
+
+(** Queries. *)
+
+val tag : node -> string option
+val children : node -> node list
+val attr : string -> node -> string option
+val classes : node -> string list
+val has_class : string -> node -> bool
+val inner_text : node -> string
+val find_all : (node -> bool) -> doc -> node list
+val find_first : (node -> bool) -> doc -> node option
+val by_tag : string -> doc -> node list
+val by_class : string -> doc -> node list
+val by_tag_class : string -> string -> doc -> node list
+val child_elements : node -> node list
+val child_by_class : string -> node -> node list
+val node_count : doc -> int
+val pp : doc Fmt.t

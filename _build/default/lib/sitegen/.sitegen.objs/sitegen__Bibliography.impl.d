@@ -1,0 +1,1 @@
+lib/sitegen/bibliography.ml: Adm Array Char Constraints Fmt Int List Nalg Page_scheme Pred Random String Websim Webtype Webviews

@@ -1,0 +1,1 @@
+lib/sitegen/bibliography.mli: Adm Websim Webviews

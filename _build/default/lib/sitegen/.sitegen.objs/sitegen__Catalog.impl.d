@@ -1,0 +1,1 @@
+lib/sitegen/catalog.ml: Adm Array Char Constraints Dsl Fmt List Page_scheme Random String View Websim Webtype Webviews

@@ -1,0 +1,1 @@
+lib/sitegen/catalog.mli: Adm Websim Webviews

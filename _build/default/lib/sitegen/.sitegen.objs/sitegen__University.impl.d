@@ -1,0 +1,1 @@
+lib/sitegen/university.ml: Adm Array Char Constraints Fmt List Nalg Page_scheme Random String View Websim Webtype Webviews

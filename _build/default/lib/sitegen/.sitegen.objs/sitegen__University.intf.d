@@ -1,0 +1,1 @@
+lib/sitegen/university.mli: Adm Websim Webviews

@@ -1,0 +1,439 @@
+(* The bibliography site of the paper's introduction — a miniature of
+   the Trier Database & Logic Programming bibliography. It exists to
+   reproduce the intro's four alternative access paths for
+
+     "find all authors who had papers in the last three VLDB
+      conferences"
+
+   1. home → list of all conferences → VLDB → last 3 editions;
+   2. home → list of database conferences (a smaller page) → VLDB → …;
+   3. home → VLDB directly (there is a link) → …;
+   4. home → list of authors → one page per author (orders of
+      magnitude more pages).
+
+   Page-schemes:
+     HomePage        (entry) ToConfList, ToDbConfList, ToVldb, ToAuthorList
+     ConfListPage    ConfList(CName, ToConf)        — all conferences
+     DbConfListPage  ConfList(CName, ToConf)        — DB conferences only
+     ConfPage        CName, EditionList(Year, Editors, ToEdition)
+     EditionPage     CName, Year, Editors, PaperList(Title, AuthorList(AName, ToAuthor))
+     AuthorListPage  AuthorList(AName, ToAuthor)
+     AuthorPage      AName, PubList(Title, CName, Year)  *)
+
+type config = {
+  seed : int;
+  n_conferences : int; (* including VLDB *)
+  n_db_conferences : int; (* ≤ n_conferences *)
+  n_years : int; (* editions per conference *)
+  n_authors : int;
+  papers_per_edition : int;
+  authors_per_paper : int;
+}
+
+let default_config =
+  {
+    seed = 7;
+    n_conferences = 12;
+    n_db_conferences = 4;
+    n_years = 6;
+    n_authors = 120;
+    papers_per_edition = 8;
+    authors_per_paper = 2;
+  }
+
+type paper = { title : string; authors : string list }
+
+type edition = { conf : string; year : int; editors : string; papers : paper list }
+
+type t = {
+  config : config;
+  site : Websim.Site.t;
+  conferences : string list;
+  db_conferences : string list;
+  editions : edition list;
+  authors : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* URLs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let slug s = String.map (fun c -> if c = ' ' then '-' else Char.lowercase_ascii c) s
+
+let home_url = "/index.html"
+let conf_list_url = "/conf/index.html"
+let db_conf_list_url = "/conf/db.html"
+let author_list_url = "/authors/index.html"
+let conf_url c = "/conf/" ^ slug c ^ ".html"
+let edition_url c year = Fmt.str "/conf/%s/%d.html" (slug c) year
+let author_url a = "/authors/" ^ slug a ^ ".html"
+
+(* ------------------------------------------------------------------ *)
+(* Scheme                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let schema : Adm.Schema.t =
+  let open Adm in
+  let text = Webtype.Text in
+  let int = Webtype.Int in
+  let link p = Webtype.Link p in
+  let conf_list_fields = [ ("CName", text); ("ToConf", link "ConfPage") ] in
+  let home =
+    Page_scheme.make ~entry_url:home_url "HomePage"
+      [
+        Page_scheme.attr "ToConfList" (link "ConfListPage");
+        Page_scheme.attr "ToDbConfList" (link "DbConfListPage");
+        Page_scheme.attr "ToVldb" (link "ConfPage");
+        Page_scheme.attr "ToAuthorList" (link "AuthorListPage");
+      ]
+  in
+  let conf_list =
+    Page_scheme.make ~entry_url:conf_list_url "ConfListPage"
+      [ Page_scheme.attr "ConfList" (Webtype.List conf_list_fields) ]
+  in
+  let db_conf_list =
+    Page_scheme.make ~entry_url:db_conf_list_url "DbConfListPage"
+      [ Page_scheme.attr "ConfList" (Webtype.List conf_list_fields) ]
+  in
+  let conf =
+    Page_scheme.make "ConfPage"
+      [
+        Page_scheme.attr "CName" text;
+        Page_scheme.attr "EditionList"
+          (Webtype.List
+             [ ("Year", int); ("Editors", text); ("ToEdition", link "EditionPage") ]);
+      ]
+  in
+  let edition =
+    Page_scheme.make "EditionPage"
+      [
+        Page_scheme.attr "CName" text;
+        Page_scheme.attr "Year" int;
+        Page_scheme.attr "Editors" text;
+        Page_scheme.attr "PaperList"
+          (Webtype.List
+             [
+               ("Title", text);
+               ("AuthorList", Webtype.List [ ("AName", text); ("ToAuthor", link "AuthorPage") ]);
+             ]);
+      ]
+  in
+  let author_list =
+    Page_scheme.make ~entry_url:author_list_url "AuthorListPage"
+      [
+        Page_scheme.attr "AuthorList"
+          (Webtype.List [ ("AName", text); ("ToAuthor", link "AuthorPage") ]);
+      ]
+  in
+  let author =
+    Page_scheme.make "AuthorPage"
+      [
+        Page_scheme.attr "AName" text;
+        Page_scheme.attr "PubList"
+          (Webtype.List [ ("Title", text); ("CName", text); ("Year", int) ]);
+      ]
+  in
+  let p = Constraints.path in
+  let lc = Constraints.link_constraint in
+  let link_constraints =
+    [
+      lc
+        ~link:(p "ConfListPage" [ "ConfList"; "ToConf" ])
+        ~source_attr:(p "ConfListPage" [ "ConfList"; "CName" ])
+        ~target_scheme:"ConfPage" ~target_attr:"CName";
+      lc
+        ~link:(p "DbConfListPage" [ "ConfList"; "ToConf" ])
+        ~source_attr:(p "DbConfListPage" [ "ConfList"; "CName" ])
+        ~target_scheme:"ConfPage" ~target_attr:"CName";
+      (* editors of an edition are repeated on the conference page:
+         the intro's "who edited VLDB '96" redundancy *)
+      lc
+        ~link:(p "ConfPage" [ "EditionList"; "ToEdition" ])
+        ~source_attr:(p "ConfPage" [ "EditionList"; "Year" ])
+        ~target_scheme:"EditionPage" ~target_attr:"Year";
+      lc
+        ~link:(p "ConfPage" [ "EditionList"; "ToEdition" ])
+        ~source_attr:(p "ConfPage" [ "EditionList"; "Editors" ])
+        ~target_scheme:"EditionPage" ~target_attr:"Editors";
+      lc
+        ~link:(p "ConfPage" [ "EditionList"; "ToEdition" ])
+        ~source_attr:(p "ConfPage" [ "CName" ])
+        ~target_scheme:"EditionPage" ~target_attr:"CName";
+      lc
+        ~link:(p "EditionPage" [ "PaperList"; "AuthorList"; "ToAuthor" ])
+        ~source_attr:(p "EditionPage" [ "PaperList"; "AuthorList"; "AName" ])
+        ~target_scheme:"AuthorPage" ~target_attr:"AName";
+      lc
+        ~link:(p "AuthorListPage" [ "AuthorList"; "ToAuthor" ])
+        ~source_attr:(p "AuthorListPage" [ "AuthorList"; "AName" ])
+        ~target_scheme:"AuthorPage" ~target_attr:"AName";
+    ]
+  in
+  let inclusions =
+    [
+      (* DB conferences are a subset of all conferences, and both
+         paths reach the same ConfPage extents for them *)
+      Constraints.inclusion
+        ~sub:(p "DbConfListPage" [ "ConfList"; "ToConf" ])
+        ~sup:(p "ConfListPage" [ "ConfList"; "ToConf" ]);
+      Constraints.inclusion
+        ~sub:(p "HomePage" [ "ToVldb" ])
+        ~sup:(p "DbConfListPage" [ "ConfList"; "ToConf" ]);
+      Constraints.inclusion
+        ~sub:(p "HomePage" [ "ToVldb" ])
+        ~sup:(p "ConfListPage" [ "ConfList"; "ToConf" ]);
+      Constraints.inclusion
+        ~sub:(p "EditionPage" [ "PaperList"; "AuthorList"; "ToAuthor" ])
+        ~sup:(p "AuthorListPage" [ "AuthorList"; "ToAuthor" ]);
+    ]
+  in
+  Adm.Schema.make ~name:"Bibliography"
+    ~schemes:[ home; conf_list; db_conf_list; conf; edition; author_list; author ]
+    ~link_constraints ~inclusions
+
+(* ------------------------------------------------------------------ *)
+(* Ground truth                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let conference_names =
+  [|
+    "VLDB"; "SIGMOD"; "ICDE"; "EDBT"; "POPL"; "ICALP"; "STOC"; "FOCS"; "LICS";
+    "CAV"; "ESOP"; "ICFP"; "PLDI"; "OOPSLA";
+  |]
+
+let generate config =
+  let rng = Random.State.make [| config.seed |] in
+  let n_confs = min config.n_conferences (Array.length conference_names) in
+  let conferences = List.init n_confs (fun i -> conference_names.(i)) in
+  let db_conferences =
+    List.filteri (fun i _ -> i < config.n_db_conferences) conferences
+  in
+  let authors = List.init config.n_authors (fun i -> Fmt.str "Author %03d" (i + 1)) in
+  let author_array = Array.of_list authors in
+  let editions =
+    List.concat_map
+      (fun conf ->
+        List.init config.n_years (fun k ->
+            let year = 1992 + k in
+            let papers =
+              List.init config.papers_per_edition (fun j ->
+                  let title = Fmt.str "%s %d Paper %02d" conf year (j + 1) in
+                  (* skewed author choice: a small community of prolific
+                     authors publishes every year (as in real venues),
+                     so queries like "authors in the last three VLDBs"
+                     have non-empty answers *)
+                  let pick_author () =
+                    let u = Random.State.float rng 1.0 in
+                    let i =
+                      int_of_float (u *. u *. u *. float_of_int (Array.length author_array))
+                    in
+                    author_array.(min i (Array.length author_array - 1))
+                  in
+                  let authors =
+                    List.init config.authors_per_paper (fun _ -> pick_author ())
+                    |> List.sort_uniq String.compare
+                  in
+                  { title; authors })
+            in
+            {
+              conf;
+              year;
+              editors = Fmt.str "Editor %s %d" conf year;
+              papers;
+            }))
+      conferences
+  in
+  (conferences, db_conferences, editions, authors)
+
+(* ------------------------------------------------------------------ *)
+(* Pages                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let v_text s = Adm.Value.Text s
+let v_int i = Adm.Value.Int i
+let v_link u = Adm.Value.Link u
+
+let conf_list_rows confs =
+  Adm.Value.Rows
+    (List.map (fun c -> [ ("CName", v_text c); ("ToConf", v_link (conf_url c)) ]) confs)
+
+let publish t =
+  let put url title tuple =
+    Websim.Site.put t.site ~url ~body:(Websim.Wrapper.render ~title tuple)
+  in
+  put home_url "Bibliography"
+    [
+      ("ToConfList", v_link conf_list_url);
+      ("ToDbConfList", v_link db_conf_list_url);
+      ("ToVldb", v_link (conf_url "VLDB"));
+      ("ToAuthorList", v_link author_list_url);
+    ];
+  put conf_list_url "All conferences" [ ("ConfList", conf_list_rows t.conferences) ];
+  put db_conf_list_url "Database conferences"
+    [ ("ConfList", conf_list_rows t.db_conferences) ];
+  List.iter
+    (fun conf ->
+      let eds = List.filter (fun e -> String.equal e.conf conf) t.editions in
+      put (conf_url conf) conf
+        [
+          ("CName", v_text conf);
+          ( "EditionList",
+            Adm.Value.Rows
+              (List.map
+                 (fun e ->
+                   [
+                     ("Year", v_int e.year);
+                     ("Editors", v_text e.editors);
+                     ("ToEdition", v_link (edition_url conf e.year));
+                   ])
+                 eds) );
+        ])
+    t.conferences;
+  List.iter
+    (fun e ->
+      put (edition_url e.conf e.year)
+        (Fmt.str "%s %d" e.conf e.year)
+        [
+          ("CName", v_text e.conf);
+          ("Year", v_int e.year);
+          ("Editors", v_text e.editors);
+          ( "PaperList",
+            Adm.Value.Rows
+              (List.map
+                 (fun p ->
+                   [
+                     ("Title", v_text p.title);
+                     ( "AuthorList",
+                       Adm.Value.Rows
+                         (List.map
+                            (fun a ->
+                              [ ("AName", v_text a); ("ToAuthor", v_link (author_url a)) ])
+                            p.authors) );
+                   ])
+                 e.papers) );
+        ])
+    t.editions;
+  put author_list_url "All authors"
+    [
+      ( "AuthorList",
+        Adm.Value.Rows
+          (List.map
+             (fun a -> [ ("AName", v_text a); ("ToAuthor", v_link (author_url a)) ])
+             t.authors) );
+    ];
+  List.iter
+    (fun a ->
+      let pubs =
+        List.concat_map
+          (fun e ->
+            List.filter_map
+              (fun (p : paper) ->
+                if List.mem a p.authors then
+                  Some
+                    [
+                      ("Title", v_text p.title);
+                      ("CName", v_text e.conf);
+                      ("Year", v_int e.year);
+                    ]
+                else None)
+              e.papers)
+          t.editions
+      in
+      put (author_url a) a [ ("AName", v_text a); ("PubList", Adm.Value.Rows pubs) ])
+    t.authors
+
+let build ?(config = default_config) () =
+  let conferences, db_conferences, editions, authors = generate config in
+  let t =
+    { config; site = Websim.Site.create (); conferences; db_conferences; editions; authors }
+  in
+  publish t;
+  Websim.Site.tick t.site;
+  t
+
+let site t = t.site
+let authors t = t.authors
+let editions t = t.editions
+
+(* The last [n] VLDB years in the generated data. *)
+let last_vldb_years t n =
+  t.editions
+  |> List.filter (fun e -> String.equal e.conf "VLDB")
+  |> List.map (fun e -> e.year)
+  |> List.sort (fun a b -> Int.compare b a)
+  |> List.filteri (fun i _ -> i < n)
+
+(* Ground truth for the intro query: authors with a paper in each of
+   the last [n] VLDB editions. *)
+let vldb_regulars t n =
+  let years = last_vldb_years t n in
+  let authors_of_year y =
+    t.editions
+    |> List.filter (fun e -> String.equal e.conf "VLDB" && e.year = y)
+    |> List.concat_map (fun e ->
+           List.concat_map (fun (p : paper) -> p.authors) e.papers)
+    |> List.sort_uniq String.compare
+  in
+  match years with
+  | [] -> []
+  | first :: rest ->
+    List.fold_left
+      (fun acc y -> List.filter (fun a -> List.mem a (authors_of_year y)) acc)
+      (authors_of_year first) rest
+
+(* ------------------------------------------------------------------ *)
+(* The four access paths of the introduction                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Each path computes the relation of (AName, Year) pairs for VLDB
+   editions, restricted to the last [n] years; intersecting the years
+   is relational post-processing shared by all paths. *)
+
+let edition_authors_expr ~entry_scheme ~list_attr : Webviews.Nalg.expr =
+  (* entry ◦ ConfList → σ[CName='VLDB'] … ConfPage ◦ EditionList →
+     EditionPage ◦ PaperList ◦ AuthorList *)
+  let open Webviews in
+  let conf_page =
+    Nalg.follow
+      (Nalg.select
+         [ Pred.eq_const (entry_scheme ^ "." ^ list_attr ^ ".CName") (Adm.Value.Text "VLDB") ]
+         (Nalg.unnest (Nalg.entry entry_scheme) (entry_scheme ^ "." ^ list_attr)))
+      (entry_scheme ^ "." ^ list_attr ^ ".ToConf")
+      ~scheme:"ConfPage"
+  in
+  Nalg.unnest
+    (Nalg.unnest
+       (Nalg.follow
+          (Nalg.unnest conf_page "ConfPage.EditionList")
+          "ConfPage.EditionList.ToEdition" ~scheme:"EditionPage")
+       "EditionPage.PaperList")
+    "EditionPage.PaperList.AuthorList"
+
+let path1_all_conferences () =
+  edition_authors_expr ~entry_scheme:"ConfListPage" ~list_attr:"ConfList"
+
+let path2_db_conferences () =
+  edition_authors_expr ~entry_scheme:"DbConfListPage" ~list_attr:"ConfList"
+
+let path3_direct_link () : Webviews.Nalg.expr =
+  let open Webviews in
+  let conf_page =
+    Nalg.follow (Nalg.entry "HomePage") "HomePage.ToVldb" ~scheme:"ConfPage"
+  in
+  Nalg.unnest
+    (Nalg.unnest
+       (Nalg.follow
+          (Nalg.unnest conf_page "ConfPage.EditionList")
+          "ConfPage.EditionList.ToEdition" ~scheme:"EditionPage")
+       "EditionPage.PaperList")
+    "EditionPage.PaperList.AuthorList"
+
+let path4_via_authors () : Webviews.Nalg.expr =
+  let open Webviews in
+  Nalg.select
+    [ Pred.eq_const "AuthorPage.PubList.CName" (Adm.Value.Text "VLDB") ]
+    (Nalg.unnest
+       (Nalg.follow
+          (Nalg.unnest (Nalg.entry "AuthorListPage") "AuthorListPage.AuthorList")
+          "AuthorListPage.AuthorList.ToAuthor" ~scheme:"AuthorPage")
+       "AuthorPage.PubList")

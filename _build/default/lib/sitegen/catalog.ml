@@ -1,0 +1,343 @@
+(* A third web-site family: an on-line product catalog. The paper
+   argues its techniques apply to any "large and fairly
+   well-structured" site; the catalog stresses aspects the university
+   site does not:
+
+   - two complete, symmetric paths to the same page-scheme (every
+     product is reachable both through its category and through its
+     brand — an equivalence, not just an inclusion);
+   - an integer attribute (Price) for range selections;
+   - strongly skewed fanouts (few brands, many categories or vice
+     versa), which move the pointer-join / pointer-chase crossover.
+
+   Page-schemes:
+     CategoryListPage (entry)  CatList(CatName, ToCat)
+     BrandListPage    (entry)  BrandList(BrandName, ToBrand)
+     CategoryPage              CatName, ProductList(PName, ToProduct)
+     BrandPage                 BrandName, ProductList(PName, ToProduct)
+     ProductPage               PName, Price, CatName, BrandName,
+                               Description, ToCat, ToBrand            *)
+
+type config = {
+  seed : int;
+  n_categories : int;
+  n_brands : int;
+  n_products : int;
+  max_price : int;
+}
+
+let default_config =
+  { seed = 11; n_categories = 8; n_brands = 4; n_products = 120; max_price = 500 }
+
+type product = {
+  p_name : string;
+  price : int;
+  category : string;
+  brand : string;
+  description : string;
+}
+
+type t = {
+  config : config;
+  site : Websim.Site.t;
+  categories : string list;
+  brands : string list;
+  mutable products : product list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* URLs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let slug s = String.map (fun c -> if c = ' ' then '-' else Char.lowercase_ascii c) s
+
+let category_list_url = "/categories/index.html"
+let brand_list_url = "/brands/index.html"
+let category_url c = "/categories/" ^ slug c ^ ".html"
+let brand_url b = "/brands/" ^ slug b ^ ".html"
+let product_url p = "/products/" ^ slug p ^ ".html"
+
+(* ------------------------------------------------------------------ *)
+(* Scheme                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let schema : Adm.Schema.t =
+  let open Adm in
+  let text = Webtype.Text in
+  let int = Webtype.Int in
+  let link p = Webtype.Link p in
+  let category_list =
+    Page_scheme.make ~entry_url:category_list_url "CategoryListPage"
+      [
+        Page_scheme.attr "CatList"
+          (Webtype.List [ ("CatName", text); ("ToCat", link "CategoryPage") ]);
+      ]
+  in
+  let brand_list =
+    Page_scheme.make ~entry_url:brand_list_url "BrandListPage"
+      [
+        Page_scheme.attr "BrandList"
+          (Webtype.List [ ("BrandName", text); ("ToBrand", link "BrandPage") ]);
+      ]
+  in
+  let category =
+    Page_scheme.make "CategoryPage"
+      [
+        Page_scheme.attr "CatName" text;
+        Page_scheme.attr "ProductList"
+          (Webtype.List [ ("PName", text); ("ToProduct", link "ProductPage") ]);
+      ]
+  in
+  let brand =
+    Page_scheme.make "BrandPage"
+      [
+        Page_scheme.attr "BrandName" text;
+        Page_scheme.attr "ProductList"
+          (Webtype.List [ ("PName", text); ("ToProduct", link "ProductPage") ]);
+      ]
+  in
+  let product =
+    Page_scheme.make "ProductPage"
+      [
+        Page_scheme.attr "PName" text;
+        Page_scheme.attr "Price" int;
+        Page_scheme.attr "CatName" text;
+        Page_scheme.attr "BrandName" text;
+        Page_scheme.attr "Description" text;
+        Page_scheme.attr "ToCat" (link "CategoryPage");
+        Page_scheme.attr "ToBrand" (link "BrandPage");
+      ]
+  in
+  let p = Constraints.path in
+  let lc = Constraints.link_constraint in
+  let link_constraints =
+    [
+      lc
+        ~link:(p "CategoryListPage" [ "CatList"; "ToCat" ])
+        ~source_attr:(p "CategoryListPage" [ "CatList"; "CatName" ])
+        ~target_scheme:"CategoryPage" ~target_attr:"CatName";
+      lc
+        ~link:(p "BrandListPage" [ "BrandList"; "ToBrand" ])
+        ~source_attr:(p "BrandListPage" [ "BrandList"; "BrandName" ])
+        ~target_scheme:"BrandPage" ~target_attr:"BrandName";
+      lc
+        ~link:(p "CategoryPage" [ "ProductList"; "ToProduct" ])
+        ~source_attr:(p "CategoryPage" [ "ProductList"; "PName" ])
+        ~target_scheme:"ProductPage" ~target_attr:"PName";
+      (* products of a category carry the category name *)
+      lc
+        ~link:(p "CategoryPage" [ "ProductList"; "ToProduct" ])
+        ~source_attr:(p "CategoryPage" [ "CatName" ])
+        ~target_scheme:"ProductPage" ~target_attr:"CatName";
+      lc
+        ~link:(p "BrandPage" [ "ProductList"; "ToProduct" ])
+        ~source_attr:(p "BrandPage" [ "ProductList"; "PName" ])
+        ~target_scheme:"ProductPage" ~target_attr:"PName";
+      lc
+        ~link:(p "BrandPage" [ "ProductList"; "ToProduct" ])
+        ~source_attr:(p "BrandPage" [ "BrandName" ])
+        ~target_scheme:"ProductPage" ~target_attr:"BrandName";
+      lc
+        ~link:(p "ProductPage" [ "ToCat" ])
+        ~source_attr:(p "ProductPage" [ "CatName" ])
+        ~target_scheme:"CategoryPage" ~target_attr:"CatName";
+      lc
+        ~link:(p "ProductPage" [ "ToBrand" ])
+        ~source_attr:(p "ProductPage" [ "BrandName" ])
+        ~target_scheme:"BrandPage" ~target_attr:"BrandName";
+    ]
+  in
+  let inclusions =
+    (* every product has both a category and a brand: the two paths
+       are equivalent *)
+    Constraints.equivalence
+      (p "CategoryPage" [ "ProductList"; "ToProduct" ])
+      (p "BrandPage" [ "ProductList"; "ToProduct" ])
+    @ [
+        Constraints.inclusion
+          ~sub:(p "ProductPage" [ "ToCat" ])
+          ~sup:(p "CategoryListPage" [ "CatList"; "ToCat" ]);
+        Constraints.inclusion
+          ~sub:(p "ProductPage" [ "ToBrand" ])
+          ~sup:(p "BrandListPage" [ "BrandList"; "ToBrand" ]);
+      ]
+  in
+  Adm.Schema.make ~name:"Catalog"
+    ~schemes:[ category_list; brand_list; category; brand; product ]
+    ~link_constraints ~inclusions
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let category_names =
+  [|
+    "Keyboards"; "Monitors"; "Storage"; "Audio"; "Networking"; "Cables";
+    "Desks"; "Chairs"; "Lighting"; "Printers";
+  |]
+
+let brand_names = [| "Acme"; "Globex"; "Initech"; "Umbrella"; "Hooli"; "Stark" |]
+
+let generate config =
+  let rng = Random.State.make [| config.seed |] in
+  let categories =
+    List.init
+      (min config.n_categories (Array.length category_names))
+      (fun i -> category_names.(i))
+  in
+  let brands =
+    List.init (min config.n_brands (Array.length brand_names)) (fun i -> brand_names.(i))
+  in
+  let nth xs n = List.nth xs (n mod List.length xs) in
+  let products =
+    List.init config.n_products (fun i ->
+        let category = nth categories (Random.State.int rng (List.length categories)) in
+        let brand = nth brands (Random.State.int rng (List.length brands)) in
+        let price = 5 + Random.State.int rng (max 1 config.max_price) in
+        let p_name = Fmt.str "%s %s %03d" brand category (i + 1) in
+        {
+          p_name;
+          price;
+          category;
+          brand;
+          description = Fmt.str "%s by %s, a fine piece of %s." p_name brand category;
+        })
+  in
+  (categories, brands, products)
+
+(* ------------------------------------------------------------------ *)
+(* Pages                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let v_text s = Adm.Value.Text s
+let v_int i = Adm.Value.Int i
+let v_link u = Adm.Value.Link u
+
+let product_rows products =
+  Adm.Value.Rows
+    (List.map
+       (fun p -> [ ("PName", v_text p.p_name); ("ToProduct", v_link (product_url p.p_name)) ])
+       products)
+
+let put t url title tuple =
+  Websim.Site.put t.site ~url ~body:(Websim.Wrapper.render ~title tuple)
+
+let publish_category t c =
+  let ps = List.filter (fun p -> String.equal p.category c) t.products in
+  put t (category_url c) c [ ("CatName", v_text c); ("ProductList", product_rows ps) ]
+
+let publish_brand t b =
+  let ps = List.filter (fun p -> String.equal p.brand b) t.products in
+  put t (brand_url b) b [ ("BrandName", v_text b); ("ProductList", product_rows ps) ]
+
+let publish_product t p =
+  put t (product_url p.p_name) p.p_name
+    [
+      ("PName", v_text p.p_name);
+      ("Price", v_int p.price);
+      ("CatName", v_text p.category);
+      ("BrandName", v_text p.brand);
+      ("Description", v_text p.description);
+      ("ToCat", v_link (category_url p.category));
+      ("ToBrand", v_link (brand_url p.brand));
+    ]
+
+let publish_all t =
+  put t category_list_url "Categories"
+    [
+      ( "CatList",
+        Adm.Value.Rows
+          (List.map
+             (fun c -> [ ("CatName", v_text c); ("ToCat", v_link (category_url c)) ])
+             t.categories) );
+    ];
+  put t brand_list_url "Brands"
+    [
+      ( "BrandList",
+        Adm.Value.Rows
+          (List.map
+             (fun b -> [ ("BrandName", v_text b); ("ToBrand", v_link (brand_url b)) ])
+             t.brands) );
+    ];
+  List.iter (publish_category t) t.categories;
+  List.iter (publish_brand t) t.brands;
+  List.iter (publish_product t) t.products
+
+let build ?(config = default_config) () =
+  let categories, brands, products = generate config in
+  let t = { config; site = Websim.Site.create (); categories; brands; products } in
+  publish_all t;
+  Websim.Site.tick t.site;
+  t
+
+let site t = t.site
+let products t = t.products
+let categories t = t.categories
+let brands t = t.brands
+
+(* Reprice a product: touches only its product page. *)
+let reprice t ~p_name ~price =
+  match List.find_opt (fun p -> String.equal p.p_name p_name) t.products with
+  | None -> false
+  | Some p ->
+    Websim.Site.tick t.site;
+    let p' = { p with price } in
+    t.products <-
+      List.map (fun x -> if String.equal x.p_name p_name then p' else x) t.products;
+    publish_product t p';
+    true
+
+(* ------------------------------------------------------------------ *)
+(* External view                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let view : Webviews.View.registry =
+  let open Webviews in
+  let by_category =
+    Dsl.(
+      start "CategoryListPage"
+      |> dive "CatList"
+      |> follow "ToCat" ~scheme:"CategoryPage"
+      |> dive "ProductList"
+      |> follow "ToProduct" ~scheme:"ProductPage"
+      |> finish)
+  in
+  let by_brand =
+    Dsl.(
+      start "BrandListPage"
+      |> dive "BrandList"
+      |> follow "ToBrand" ~scheme:"BrandPage"
+      |> dive "ProductList"
+      |> follow "ToProduct" ~scheme:"ProductPage"
+      |> finish)
+  in
+  let product_bindings =
+    [
+      ("PName", "ProductPage.PName");
+      ("Price", "ProductPage.Price");
+      ("Category", "ProductPage.CatName");
+      ("Brand", "ProductPage.BrandName");
+      ("Description", "ProductPage.Description");
+    ]
+  in
+  let categories_nav =
+    Dsl.(start "CategoryListPage" |> dive "CatList" |> follow "ToCat" ~scheme:"CategoryPage" |> finish)
+  in
+  let brands_nav =
+    Dsl.(start "BrandListPage" |> dive "BrandList" |> follow "ToBrand" ~scheme:"BrandPage" |> finish)
+  in
+  [
+    View.relation ~name:"Product"
+      ~attrs:[ "PName"; "Price"; "Category"; "Brand"; "Description" ]
+      ~navigations:
+        [
+          View.navigation ~bindings:product_bindings by_category;
+          View.navigation ~bindings:product_bindings by_brand;
+        ];
+    View.relation ~name:"Category" ~attrs:[ "CatName" ]
+      ~navigations:
+        [ View.navigation ~bindings:[ ("CatName", "CategoryPage.CatName") ] categories_nav ];
+    View.relation ~name:"Brand" ~attrs:[ "BrandName" ]
+      ~navigations:
+        [ View.navigation ~bindings:[ ("BrandName", "BrandPage.BrandName") ] brands_nav ];
+  ]

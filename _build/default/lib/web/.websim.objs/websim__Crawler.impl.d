@@ -1,0 +1,1 @@
+lib/web/crawler.ml: Adm Fmt Hashtbl Http List Queue String Wrapper

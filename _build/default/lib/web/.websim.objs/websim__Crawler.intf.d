@@ -1,0 +1,1 @@
+lib/web/crawler.mli: Adm Hashtbl Http

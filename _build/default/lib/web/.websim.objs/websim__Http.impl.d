@@ -1,0 +1,1 @@
+lib/web/http.ml: Fmt Site String

@@ -1,0 +1,1 @@
+lib/web/http.mli: Fmt Site

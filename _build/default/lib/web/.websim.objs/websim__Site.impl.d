@@ -1,0 +1,1 @@
+lib/web/site.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/web/wrapper.ml: Adm Bool Fmt Html List String

@@ -1,0 +1,1 @@
+lib/web/wrapper.mli: Adm Html

@@ -1,0 +1,122 @@
+(* A breadth-first crawler: starting from the entry points of a web
+   scheme, download every reachable page, wrap it against its
+   page-scheme, and build the full instance (one page relation per
+   page-scheme, unqualified attribute names plus URL).
+
+   The paper uses a similar exhaustive exploration (with WebSQL) to
+   estimate the quantitative parameters of the cost model and to seed
+   materialized views. *)
+
+type instance = {
+  relations : (string * Adm.Relation.t) list; (* page-scheme name -> pages *)
+  scheme_of_url : (string, string) Hashtbl.t;
+  bytes_of_url : (string, int) Hashtbl.t; (* page sizes, for byte costs *)
+  fetched : int;
+}
+
+let find_relation instance name = List.assoc_opt name instance.relations
+
+let find_relation_exn instance name =
+  match find_relation instance name with
+  | Some r -> r
+  | None -> invalid_arg (Fmt.str "Crawler: no relation for page-scheme %S" name)
+
+let tuple_of_url instance ~scheme ~url =
+  match find_relation instance scheme with
+  | None -> None
+  | Some r ->
+    List.find_opt
+      (fun t ->
+        match Adm.Value.find t Adm.Page_scheme.url_attr with
+        | Some (Adm.Value.Link u) -> String.equal u url
+        | _ -> false)
+      (Adm.Relation.rows r)
+
+(* Outgoing links of a wrapped page tuple, paired with the target
+   page-scheme, derived from the page-scheme's link paths. *)
+let outlinks (ps : Adm.Page_scheme.t) (tuple : Adm.Value.tuple) =
+  let rec collect steps (t : Adm.Value.tuple) =
+    match steps with
+    | [] -> []
+    | [ last ] -> (
+      match Adm.Value.find t last with
+      | Some (Adm.Value.Link u) -> [ u ]
+      | _ -> [])
+    | step :: rest -> (
+      match Adm.Value.find t step with
+      | Some (Adm.Value.Rows inner) -> List.concat_map (collect rest) inner
+      | _ -> [])
+  in
+  List.concat_map
+    (fun (steps, target) -> List.map (fun u -> (u, target)) (collect steps tuple))
+    (Adm.Page_scheme.link_paths ps)
+
+let crawl (schema : Adm.Schema.t) (http : Http.t) =
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let scheme_of_url : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  let bytes_of_url : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let tuples : (string, Adm.Value.tuple list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ps -> Hashtbl.replace tuples (Adm.Page_scheme.name ps) (ref []))
+    (Adm.Schema.schemes schema);
+  let queue = Queue.create () in
+  List.iter
+    (fun ps ->
+      match Adm.Page_scheme.entry_url ps with
+      | Some url -> Queue.add (url, Adm.Page_scheme.name ps) queue
+      | None -> ())
+    (Adm.Schema.entry_points schema);
+  let fetched = ref 0 in
+  while not (Queue.is_empty queue) do
+    let url, scheme_name = Queue.pop queue in
+    if not (Hashtbl.mem visited url) then begin
+      Hashtbl.replace visited url ();
+      match Http.get http url with
+      | None -> () (* dangling link: tolerated, recorded by Http stats *)
+      | Some (body, _date) ->
+        incr fetched;
+        let ps = Adm.Schema.find_scheme_exn schema scheme_name in
+        let tuple = Wrapper.extract ps ~url body in
+        Hashtbl.replace scheme_of_url url scheme_name;
+        Hashtbl.replace bytes_of_url url (String.length body);
+        let bucket = Hashtbl.find tuples scheme_name in
+        bucket := tuple :: !bucket;
+        List.iter (fun (u, target) -> Queue.add (u, target) queue) (outlinks ps tuple)
+    end
+  done;
+  let relations =
+    List.map
+      (fun ps ->
+        let name = Adm.Page_scheme.name ps in
+        let attr_names =
+          Adm.Page_scheme.url_attr
+          :: List.map
+               (fun (d : Adm.Page_scheme.attr_decl) -> d.Adm.Page_scheme.name)
+               (Adm.Page_scheme.attrs ps)
+        in
+        (name, Adm.Relation.make attr_names (List.rev !(Hashtbl.find tuples name))))
+      (Adm.Schema.schemes schema)
+  in
+  { relations; scheme_of_url; bytes_of_url; fetched = !fetched }
+
+(* Average page size (bytes) per page-scheme, for byte-based costs. *)
+let avg_bytes_per_scheme instance =
+  let totals : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun url scheme ->
+      match Hashtbl.find_opt instance.bytes_of_url url with
+      | None -> ()
+      | Some bytes ->
+        let n, total =
+          match Hashtbl.find_opt totals scheme with Some x -> x | None -> (0, 0)
+        in
+        Hashtbl.replace totals scheme (n + 1, total + bytes))
+    instance.scheme_of_url;
+  Hashtbl.fold
+    (fun scheme (n, total) acc ->
+      (scheme, float_of_int total /. float_of_int (max 1 n)) :: acc)
+    totals []
+
+(* Validate a crawled instance against the declared constraints. *)
+let validate schema instance =
+  Adm.Schema.validate_instance schema (find_relation instance)

@@ -1,0 +1,24 @@
+(** Breadth-first crawl of a site from the scheme's entry points,
+    producing the full instance: one page relation per page-scheme. *)
+
+type instance = {
+  relations : (string * Adm.Relation.t) list;
+  scheme_of_url : (string, string) Hashtbl.t;
+  bytes_of_url : (string, int) Hashtbl.t;  (** page sizes *)
+  fetched : int;
+}
+
+val find_relation : instance -> string -> Adm.Relation.t option
+val find_relation_exn : instance -> string -> Adm.Relation.t
+val tuple_of_url : instance -> scheme:string -> url:string -> Adm.Value.tuple option
+
+val outlinks : Adm.Page_scheme.t -> Adm.Value.tuple -> (string * string) list
+(** Outgoing links of a page tuple as (URL, target page-scheme). *)
+
+val crawl : Adm.Schema.t -> Http.t -> instance
+
+val avg_bytes_per_scheme : instance -> (string * float) list
+(** Average page size per page-scheme, for byte-based cost models. *)
+
+val validate : Adm.Schema.t -> instance -> string list
+(** Constraint violations of the crawled instance. *)

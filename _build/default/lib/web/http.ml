@@ -1,0 +1,60 @@
+(* The simulated HTTP client. The paper's cost model counts network
+   page accesses as the only cost, and distinguishes full downloads
+   (GET) from "light connections" that exchange only an error flag and
+   the Last-Modified date (HEAD). Both are counted here, along with
+   bytes transferred, so experiments can report every cost the paper
+   discusses. *)
+
+type stats = {
+  mutable gets : int;
+  mutable heads : int;
+  mutable not_found : int;
+  mutable bytes : int;
+}
+
+type t = { site : Site.t; stats : stats }
+
+let connect site = { site; stats = { gets = 0; heads = 0; not_found = 0; bytes = 0 } }
+
+let stats t = t.stats
+let site t = t.site
+
+let reset_stats t =
+  t.stats.gets <- 0;
+  t.stats.heads <- 0;
+  t.stats.not_found <- 0;
+  t.stats.bytes <- 0
+
+let snapshot t =
+  { gets = t.stats.gets; heads = t.stats.heads; not_found = t.stats.not_found; bytes = t.stats.bytes }
+
+let diff ~before ~after =
+  {
+    gets = after.gets - before.gets;
+    heads = after.heads - before.heads;
+    not_found = after.not_found - before.not_found;
+    bytes = after.bytes - before.bytes;
+  }
+
+(* Full download: returns the page body and its Last-Modified date. *)
+let get t url =
+  t.stats.gets <- t.stats.gets + 1;
+  match Site.find t.site url with
+  | Some page ->
+    t.stats.bytes <- t.stats.bytes + String.length page.Site.body;
+    Some (page.Site.body, page.Site.last_modified)
+  | None ->
+    t.stats.not_found <- t.stats.not_found + 1;
+    None
+
+(* Light connection: only the Last-Modified date (None = 404). *)
+let head t url =
+  t.stats.heads <- t.stats.heads + 1;
+  match Site.find t.site url with
+  | Some page -> Some page.Site.last_modified
+  | None ->
+    t.stats.not_found <- t.stats.not_found + 1;
+    None
+
+let pp_stats ppf s =
+  Fmt.pf ppf "GET=%d HEAD=%d 404=%d bytes=%d" s.gets s.heads s.not_found s.bytes

@@ -1,0 +1,27 @@
+(** Simulated HTTP client with access accounting: GET = full page
+    download, HEAD = the paper's "light connection" exchanging only
+    the Last-Modified date. *)
+
+type stats = {
+  mutable gets : int;
+  mutable heads : int;
+  mutable not_found : int;
+  mutable bytes : int;
+}
+
+type t
+
+val connect : Site.t -> t
+val stats : t -> stats
+val site : t -> Site.t
+val reset_stats : t -> unit
+val snapshot : t -> stats
+val diff : before:stats -> after:stats -> stats
+
+val get : t -> string -> (string * int) option
+(** Body and Last-Modified, or [None] on 404. *)
+
+val head : t -> string -> int option
+(** Last-Modified only, or [None] on 404. *)
+
+val pp_stats : stats Fmt.t

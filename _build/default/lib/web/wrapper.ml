@@ -1,0 +1,154 @@
+(* Wrappers turn HTML pages into ADM nested tuples and back.
+
+   The paper assumes "suitable wrappers are applied to pages in order
+   to access attribute values". Ours are convention-based and driven
+   entirely by the page-scheme:
+
+   - a mono-valued attribute A appears as an element with class "a-A";
+     link attributes are anchors:   <a class="a-ToDept" href="…">…</a>
+   - a multi-valued attribute L is  <ul class="l-L"> whose <li>
+     children are the nested tuples, recursively.
+
+   Extraction is scope-aware: while extracting the attributes of one
+   nesting level it never descends into a nested list ("l-…" element),
+   so attribute names can be reused at different levels. Pages may
+   contain arbitrary extra markup (navigation, headers); the wrapper
+   ignores anything unclassified. *)
+
+let attr_class name = "a-" ^ name
+let list_class name = "l-" ^ name
+
+let is_list_element node =
+  List.exists (fun c -> String.length c > 2 && String.sub c 0 2 = "l-") (Html.classes node)
+
+(* Depth-first search that does not descend below nested lists. *)
+let rec scoped_find pred nodes =
+  List.concat_map
+    (fun node ->
+      if pred node then [ node ]
+      else if is_list_element node then []
+      else scoped_find pred (Html.children node))
+    nodes
+
+let find_attr_element name nodes = match scoped_find (Html.has_class (attr_class name)) nodes with
+  | [] -> None
+  | node :: _ -> Some node
+
+let find_list_element name nodes =
+  match scoped_find (Html.has_class (list_class name)) nodes with
+  | [] -> None
+  | node :: _ -> Some node
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Wrap_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Wrap_error m)) fmt
+
+let extract_mono name (ty : Adm.Webtype.t) nodes : Adm.Value.t option =
+  match find_attr_element name nodes with
+  | None -> None
+  | Some node -> (
+    match ty with
+    | Adm.Webtype.Link _ -> (
+      match Html.attr "href" node with
+      | Some href -> Some (Adm.Value.Link href)
+      | None -> fail "attribute %s: link without href" name)
+    | Adm.Webtype.Int -> (
+      let text = String.trim (Html.inner_text node) in
+      match int_of_string_opt text with
+      | Some i -> Some (Adm.Value.Int i)
+      | None -> fail "attribute %s: expected int, got %S" name text)
+    | Adm.Webtype.Text | Adm.Webtype.Image ->
+      Some (Adm.Value.Text (String.trim (Html.inner_text node)))
+    | Adm.Webtype.List _ -> fail "attribute %s: mono extraction of a list type" name)
+
+let rec extract_fields fields nodes : Adm.Value.tuple =
+  List.map
+    (fun (name, (ty : Adm.Webtype.t)) ->
+      match ty with
+      | Adm.Webtype.List inner -> (
+        match find_list_element name nodes with
+        | None -> (name, Adm.Value.Null)
+        | Some ul ->
+          let items =
+            List.filter
+              (fun child -> match Html.tag child with Some "li" -> true | _ -> false)
+              (Html.children ul)
+          in
+          let tuples = List.map (fun li -> extract_fields inner (Html.children li)) items in
+          (name, Adm.Value.Rows tuples))
+      | Adm.Webtype.Text | Adm.Webtype.Int | Adm.Webtype.Image | Adm.Webtype.Link _ -> (
+        match extract_mono name ty nodes with
+        | Some v -> (name, v)
+        | None -> (name, Adm.Value.Null)))
+    fields
+
+(* Extract a full page tuple (including the implicit URL attribute)
+   for a page-scheme. Raises [Wrap_error] when a non-optional
+   attribute is missing or malformed. *)
+let extract (ps : Adm.Page_scheme.t) ~url html_body : Adm.Value.tuple =
+  let doc = Html.parse html_body in
+  let fields =
+    List.map
+      (fun (d : Adm.Page_scheme.attr_decl) -> (d.Adm.Page_scheme.name, d.Adm.Page_scheme.ty))
+      (Adm.Page_scheme.attrs ps)
+  in
+  let tuple = extract_fields fields doc in
+  List.iter
+    (fun (d : Adm.Page_scheme.attr_decl) ->
+      if not d.Adm.Page_scheme.optional then
+        match Adm.Value.find tuple d.Adm.Page_scheme.name with
+        | Some v when not (Adm.Value.is_null v) -> ()
+        | _ ->
+          fail "page %s (%s): missing non-optional attribute %s" url
+            (Adm.Page_scheme.name ps) d.Adm.Page_scheme.name)
+    (Adm.Page_scheme.attrs ps);
+  (Adm.Page_scheme.url_attr, Adm.Value.Link url) :: tuple
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (the inverse, used by the site generators)                *)
+(* ------------------------------------------------------------------ *)
+
+let render_mono name (v : Adm.Value.t) : Html.node =
+  match v with
+  | Adm.Value.Link href ->
+    Html.Element ("a", [ ("class", attr_class name); ("href", href) ], [ Html.Text href ])
+  | Adm.Value.Text s -> Html.Element ("span", [ ("class", attr_class name) ], [ Html.Text s ])
+  | Adm.Value.Int i ->
+    Html.Element ("span", [ ("class", attr_class name) ], [ Html.Text (string_of_int i) ])
+  | Adm.Value.Bool b ->
+    Html.Element ("span", [ ("class", attr_class name) ], [ Html.Text (Bool.to_string b) ])
+  | Adm.Value.Null | Adm.Value.Rows _ -> Html.Text ""
+
+let rec render_tuple (tuple : Adm.Value.tuple) : Html.node list =
+  List.concat_map
+    (fun (name, v) ->
+      match (v : Adm.Value.t) with
+      | Adm.Value.Null -> []
+      | Adm.Value.Rows rows ->
+        [
+          Html.Element
+            ( "ul",
+              [ ("class", list_class name) ],
+              List.map (fun t -> Html.Element ("li", [], render_tuple t)) rows );
+        ]
+      | Adm.Value.Bool _ | Adm.Value.Int _ | Adm.Value.Text _ | Adm.Value.Link _ ->
+        [ render_mono name v ])
+    tuple
+
+(* Render a page tuple (URL attribute excluded) as a page body, with
+   realistic chrome around the data so extraction has to work for it. *)
+let render ?(title = "") (tuple : Adm.Value.tuple) : string =
+  let data = render_tuple (Adm.Value.remove tuple Adm.Page_scheme.url_attr) in
+  let body =
+    [
+      Html.Element ("div", [ ("class", "nav") ], [ Html.Element ("a", [ ("href", "/index.html") ], [ Html.Text "Home" ]) ]);
+      Html.Element ("h1", [], [ Html.Text title ]);
+      Html.Element ("div", [ ("class", "content") ], data);
+      Html.Element ("div", [ ("class", "footer") ], [ Html.Text "Generated by sitegen" ]);
+    ]
+  in
+  Html.doc_to_string ~title body

@@ -1,0 +1,20 @@
+(** Convention-based wrappers mapping HTML pages to ADM nested tuples
+    and back: mono-valued attribute [A] is any element with class
+    ["a-A"] (links are anchors with [href]); multi-valued attribute
+    [L] is a [<ul class="l-L">] of [<li>] nested tuples. Extraction is
+    scope-aware and ignores unclassified markup. *)
+
+exception Wrap_error of string
+
+val attr_class : string -> string
+val list_class : string -> string
+
+val extract : Adm.Page_scheme.t -> url:string -> string -> Adm.Value.tuple
+(** Parse an HTML body and extract the page tuple, including the
+    implicit [URL] attribute. Raises {!Wrap_error} when a non-optional
+    attribute is missing or malformed. *)
+
+val render : ?title:string -> Adm.Value.tuple -> string
+(** Render a page tuple (inverse of {!extract} up to chrome). *)
+
+val render_tuple : Adm.Value.tuple -> Html.node list

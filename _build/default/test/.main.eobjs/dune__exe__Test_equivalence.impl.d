@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Adm Eval Fmt Fun Lazy List Matview Nalg Planner QCheck QCheck_alcotest Sitegen Stats String Websim Webviews

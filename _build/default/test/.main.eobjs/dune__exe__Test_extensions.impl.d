@@ -1,0 +1,1 @@
+test/test_extensions.ml: Adm Alcotest Cost Discover Dsl Eval Explain Fmt Lazy List Matview Nalg Planner Pred Sitegen Stats String View Websim Webviews

@@ -1,0 +1,1 @@
+test/test_matview.ml: Adm Alcotest Eval List Matview Planner Sitegen Stats String Websim Webviews

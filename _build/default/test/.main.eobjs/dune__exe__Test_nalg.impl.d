@@ -1,0 +1,1 @@
+test/test_nalg.ml: Adm Alcotest Eval Lazy List Nalg Pred Sitegen String Websim Webviews

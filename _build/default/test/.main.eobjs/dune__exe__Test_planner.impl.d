@@ -1,0 +1,1 @@
+test/test_planner.ml: Adm Alcotest Conjunctive Cost Eval Float Lazy List Nalg Planner Pred Sitegen Sql_lexer Sql_parser Stats String View Websim Webviews

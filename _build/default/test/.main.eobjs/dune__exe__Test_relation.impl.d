@@ -1,0 +1,1 @@
+test/test_relation.ml: Adm Alcotest Fmt List QCheck QCheck_alcotest Relation Value

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Adm Alcotest Cost Eval Filename Float Lazy List Nalg Pred Rewrite Sitegen Stats String Websim Webviews

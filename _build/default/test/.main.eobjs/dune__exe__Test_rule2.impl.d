@@ -1,0 +1,1 @@
+test/test_rule2.ml: Adm Alcotest Constraints Dsl Eval Fmt List Nalg Page_scheme Rewrite Schema Websim Webtype Webviews

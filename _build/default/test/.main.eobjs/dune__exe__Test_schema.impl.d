@@ -1,0 +1,1 @@
+test/test_schema.ml: Adm Alcotest Constraints List Page_scheme Relation Schema Sitegen String Value Webtype

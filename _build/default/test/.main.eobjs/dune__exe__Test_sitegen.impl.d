@@ -1,0 +1,1 @@
+test/test_sitegen.ml: Adm Alcotest Fmt Lazy List Option Sitegen String Websim Webviews

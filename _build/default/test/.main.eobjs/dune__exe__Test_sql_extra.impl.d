@@ -1,0 +1,1 @@
+test/test_sql_extra.ml: Adm Alcotest Conjunctive Eval Fmt Lazy List Planner Sitegen Sql_parser Stats String Websim Webviews

@@ -1,0 +1,1 @@
+test/test_value.ml: Adm Alcotest Fmt List QCheck QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_websim.ml: Adm Alcotest Fmt Fun Html List Option Page_scheme QCheck QCheck_alcotest Relation Schema Sitegen String Value Websim Webtype

@@ -1,0 +1,20 @@
+(* Test runner: one alcotest binary aggregating every suite. *)
+
+let () =
+  Alcotest.run "webviews"
+    [
+      Test_value.suite;
+      Test_relation.suite;
+      Test_html.suite;
+      Test_schema.suite;
+      Test_websim.suite;
+      Test_nalg.suite;
+      Test_rewrite.suite;
+      Test_planner.suite;
+      Test_matview.suite;
+      Test_sitegen.suite;
+      Test_extensions.suite;
+      Test_rule2.suite;
+      Test_sql_extra.suite;
+      Test_equivalence.suite;
+    ]

@@ -1,0 +1,130 @@
+(* Unit and property tests for Adm.Value. *)
+
+open Adm
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+let sample_tuple : Value.tuple =
+  [
+    ("Name", Value.Text "Ada");
+    ("Age", Value.Int 36);
+    ("Home", Value.Link "/ada.html");
+    ( "Kids",
+      Value.Rows [ [ ("K", Value.Text "a") ]; [ ("K", Value.Text "b") ] ] );
+  ]
+
+let test_equal_atoms () =
+  check bool_t "text equal" true (Value.equal (Value.Text "x") (Value.Text "x"));
+  check bool_t "text differs" false (Value.equal (Value.Text "x") (Value.Text "y"));
+  check bool_t "int equal" true (Value.equal (Value.Int 3) (Value.Int 3));
+  check bool_t "link vs text differ" false
+    (Value.equal (Value.Link "/a") (Value.Text "/a"));
+  check bool_t "null equal" true (Value.equal Value.Null Value.Null)
+
+let test_equal_nested () =
+  let r1 = Value.Rows [ [ ("A", Value.Int 1) ]; [ ("A", Value.Int 2) ] ] in
+  let r2 = Value.Rows [ [ ("A", Value.Int 1) ]; [ ("A", Value.Int 2) ] ] in
+  let r3 = Value.Rows [ [ ("A", Value.Int 2) ]; [ ("A", Value.Int 1) ] ] in
+  check bool_t "rows equal" true (Value.equal r1 r2);
+  check bool_t "rows order-sensitive" false (Value.equal r1 r3)
+
+let test_compare_total () =
+  let vs =
+    [ Value.Null; Value.Bool true; Value.Int 1; Value.Text "a"; Value.Link "/x" ]
+  in
+  List.iter
+    (fun v -> check bool_t "reflexive" true (Value.compare v v = 0))
+    vs;
+  check bool_t "null smallest" true (Value.compare Value.Null (Value.Int 0) < 0)
+
+let test_accessors () =
+  check (Alcotest.option string_t) "as_text" (Some "hi") (Value.as_text (Value.Text "hi"));
+  check (Alcotest.option string_t) "as_text of int" (Some "7") (Value.as_text (Value.Int 7));
+  check (Alcotest.option Alcotest.int) "as_int" (Some 5) (Value.as_int (Value.Int 5));
+  check (Alcotest.option Alcotest.int) "as_int of numeric text" (Some 12)
+    (Value.as_int (Value.Text "12"));
+  check (Alcotest.option Alcotest.int) "as_int of text" None (Value.as_int (Value.Text "x"));
+  check (Alcotest.option string_t) "as_link" (Some "/a") (Value.as_link (Value.Link "/a"));
+  check (Alcotest.option string_t) "as_link of text" None (Value.as_link (Value.Text "/a"))
+
+let test_tuple_find () =
+  check bool_t "find hit" true
+    (Value.find sample_tuple "Name" = Some (Value.Text "Ada"));
+  check bool_t "find miss" true (Value.find sample_tuple "Nope" = None);
+  check bool_t "has_attr" true (Value.has_attr sample_tuple "Kids");
+  Alcotest.check_raises "find_exn raises"
+    (Invalid_argument
+       (Fmt.str "Value.find_exn: no attribute %S in tuple %a" "Zed" Value.pp_tuple
+          sample_tuple))
+    (fun () -> ignore (Value.find_exn sample_tuple "Zed"))
+
+let test_tuple_set_remove () =
+  let t = Value.set sample_tuple "Age" (Value.Int 37) in
+  check bool_t "set replaces" true (Value.find t "Age" = Some (Value.Int 37));
+  let t2 = Value.set sample_tuple "New" (Value.Text "v") in
+  check bool_t "set appends" true (Value.find t2 "New" = Some (Value.Text "v"));
+  let t3 = Value.remove sample_tuple "Age" in
+  check bool_t "remove drops" true (Value.find t3 "Age" = None);
+  check Alcotest.(list string_t) "attrs order" [ "Name"; "Age"; "Home"; "Kids" ]
+    (Value.attrs sample_tuple)
+
+let test_display () =
+  check string_t "text display" "Ada" (Value.to_display (Value.Text "Ada"));
+  check string_t "null display" "" (Value.to_display Value.Null);
+  check string_t "rows display" "[2 rows]"
+    (Value.to_display (Value.Rows [ []; [] ]))
+
+let test_type_names () =
+  check string_t "null" "null" (Value.type_name Value.Null);
+  check string_t "rows" "rows" (Value.type_name (Value.Rows []));
+  check bool_t "atomicity" true (Value.is_atomic (Value.Link "/x"));
+  check bool_t "rows not atomic" false (Value.is_atomic (Value.Rows []))
+
+(* Property tests. *)
+
+let atom_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) small_signed_int;
+        map (fun s -> Value.Text s) (string_size (int_bound 12));
+        map (fun s -> Value.Link ("/" ^ s)) (string_size (int_bound 8));
+      ])
+
+let atom_arb = QCheck.make ~print:Value.to_string atom_gen
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"Value.compare is antisymmetric" ~count:500
+    (QCheck.pair atom_arb atom_arb)
+    (fun (v1, v2) -> Value.compare v1 v2 = -Value.compare v2 v1)
+
+let prop_equal_iff_compare =
+  QCheck.Test.make ~name:"Value.equal agrees with compare" ~count:500
+    (QCheck.pair atom_arb atom_arb)
+    (fun (v1, v2) -> Value.equal v1 v2 = (Value.compare v1 v2 = 0))
+
+let prop_set_find =
+  QCheck.Test.make ~name:"Value.set then find" ~count:200
+    (QCheck.pair (QCheck.string_gen_of_size (QCheck.Gen.return 4) QCheck.Gen.printable) atom_arb)
+    (fun (a, v) ->
+      Value.find (Value.set sample_tuple a v) a = Some v)
+
+let suite =
+  ( "value",
+    [
+      Alcotest.test_case "equal atoms" `Quick test_equal_atoms;
+      Alcotest.test_case "equal nested" `Quick test_equal_nested;
+      Alcotest.test_case "compare total" `Quick test_compare_total;
+      Alcotest.test_case "accessors" `Quick test_accessors;
+      Alcotest.test_case "tuple find" `Quick test_tuple_find;
+      Alcotest.test_case "tuple set/remove" `Quick test_tuple_set_remove;
+      Alcotest.test_case "display" `Quick test_display;
+      Alcotest.test_case "type names" `Quick test_type_names;
+      QCheck_alcotest.to_alcotest prop_compare_antisym;
+      QCheck_alcotest.to_alcotest prop_equal_iff_compare;
+      QCheck_alcotest.to_alcotest prop_set_find;
+    ] )
