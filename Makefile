@@ -1,0 +1,24 @@
+.PHONY: build test bench bench-kernel examples clean
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every experiment of the paper plus bechamel timings.
+bench:
+	dune exec bench/main.exe -- all
+
+# Microbenchmarks of the in-memory relational kernel (equi_join,
+# distinct, unnest, nest at 1k/10k/100k rows). Writes BENCH_kernel.json
+# in the current directory; commit it so the perf trajectory is
+# tracked across PRs.
+bench-kernel:
+	dune exec bench/main.exe -- kernel
+
+examples:
+	dune exec examples/quickstart.exe
+
+clean:
+	dune clean

@@ -586,6 +586,127 @@ let exp10 () =
   Fmt.pr "only on the query and the scheme).@."
 
 (* ------------------------------------------------------------------ *)
+(* Kernel microbenchmarks: the in-memory relational engine             *)
+(* ------------------------------------------------------------------ *)
+
+(* Synthetic relations exercising the NALG hot path: equi_join,
+   distinct, unnest and nest at 1k/10k/100k rows. Results go to stdout
+   and to BENCH_kernel.json so the perf trajectory is tracked across
+   PRs. *)
+
+let kernel_sizes = [ 1_000; 10_000; 100_000 ]
+
+let kernel_left n =
+  let m = max 1 (n / 10) in
+  Adm.Relation.make
+    [ "L.K"; "L.A"; "L.B"; "L.C" ]
+    (List.init n (fun i ->
+         [
+           ("L.K", Adm.Value.Int (i mod m));
+           ("L.A", Adm.Value.Text ("left-" ^ string_of_int i));
+           ("L.B", Adm.Value.Int (i * 7));
+           ("L.C", Adm.Value.Link ("/page/" ^ string_of_int i));
+         ]))
+
+let kernel_right n =
+  let m = max 1 (n / 10) in
+  Adm.Relation.make
+    [ "R.K"; "R.D" ]
+    (List.init m (fun j ->
+         [ ("R.K", Adm.Value.Int j); ("R.D", Adm.Value.Text ("right-" ^ string_of_int j)) ]))
+
+(* n rows, n/10 distinct: the worst case for string-rendered keys. *)
+let kernel_dupes n =
+  let m = max 1 (n / 10) in
+  Adm.Relation.make
+    [ "D.K"; "D.A"; "D.B" ]
+    (List.init n (fun i ->
+         [
+           ("D.K", Adm.Value.Int (i mod m));
+           ("D.A", Adm.Value.Text ("dup-" ^ string_of_int (i mod m)));
+           ("D.B", Adm.Value.Int (i mod m * 3));
+         ]))
+
+(* n/50 outer rows of 50 nested tuples each: n rows once unnested. *)
+let kernel_nested n =
+  let outer = max 1 (n / 50) in
+  Adm.Relation.make
+    [ "Dept"; "Profs" ]
+    (List.init outer (fun i ->
+         [
+           ("Dept", Adm.Value.Text ("dept-" ^ string_of_int i));
+           ( "Profs",
+             Adm.Value.Rows
+               (List.init 50 (fun j ->
+                    [
+                      ("P", Adm.Value.Text (Fmt.str "p-%d-%d" i j));
+                      ("Rank", Adm.Value.Int (j mod 4));
+                    ])) );
+         ]))
+
+let kernel_tests () =
+  let open Bechamel in
+  List.concat_map
+    (fun n ->
+      let left = kernel_left n in
+      let right = kernel_right n in
+      let dupes = kernel_dupes n in
+      let nested = kernel_nested n in
+      let flat = Adm.Relation.unnest "Profs" nested in
+      [
+        Test.make
+          ~name:(Fmt.str "equi_join/%d" n)
+          (Staged.stage (fun () ->
+               ignore (Adm.Relation.equi_join [ ("L.K", "R.K") ] left right)));
+        Test.make
+          ~name:(Fmt.str "distinct/%d" n)
+          (Staged.stage (fun () -> ignore (Adm.Relation.distinct dupes)));
+        Test.make
+          ~name:(Fmt.str "unnest/%d" n)
+          (Staged.stage (fun () -> ignore (Adm.Relation.unnest "Profs" nested)));
+        Test.make
+          ~name:(Fmt.str "nest/%d" n)
+          (Staged.stage (fun () -> ignore (Adm.Relation.nest ~into:"Profs" flat)));
+      ])
+    kernel_sizes
+
+let kernel () =
+  banner "Kernel microbenchmarks (in-memory relational engine)";
+  let open Bechamel in
+  let open Toolkit in
+  let grouped = Test.make_grouped ~name:"kernel" ~fmt:"%s %s" (kernel_tests ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.filter_map (fun (name, ols) ->
+           match Analyze.OLS.estimates ols with
+           | Some [ est ] -> Some (name, est)
+           | Some _ | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Fmt.pr "%-30s %15s@." "benchmark" "ns/run";
+  List.iter (fun (name, ns) -> Fmt.pr "%-30s %15.0f@." name ns) rows;
+  (* machine-readable trace for the perf trajectory *)
+  let oc = open_out "BENCH_kernel.json" in
+  let strip name =
+    match String.index_opt name ' ' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  Printf.fprintf oc "{\n  \"suite\": \"kernel\",\n  \"unit\": \"ns_per_run\",\n  \"results\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %.1f }%s\n" (strip name) ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_kernel.json (%d entries)@." (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -681,13 +802,14 @@ let () =
   match args with
   | [] | [ "all" ] -> run_all ()
   | [ "timings" ] -> timings ()
+  | [ "kernel" ] -> kernel ()
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
         | Some f -> f ()
         | None ->
-          Fmt.epr "unknown experiment %S (have: %s, all, timings)@." name
+          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel)@." name
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names

@@ -1,8 +1,15 @@
-(** Nested relations over {!Value.tuple}s with an ordered attribute
-    header. Attribute names are full dotted paths so that several
-    page-schemes can coexist in one relation without collisions. *)
+(** Nested relations with an ordered attribute header, stored
+    columnar/positionally: the header carries a name → offset index
+    and each row is a [Value.t array] in header order. Attribute names
+    are full dotted paths so that several page-schemes can coexist in
+    one relation without collisions. *)
 
 type t
+
+type row = Value.t array
+(** One row, one slot per header position. Rows handed out by
+    {!rows_arrays} are shared, not copied — callers must not mutate
+    them. *)
 
 val empty : string list -> t
 
@@ -10,15 +17,38 @@ val make : string list -> Value.tuple list -> t
 (** Pads missing attributes with [Null] and reorders bindings to match
     the header. *)
 
+val of_arrays : string list -> row list -> t
+(** Positional constructor: rows must already be in header order.
+    Raises on a width mismatch. *)
+
 val attrs : t -> string list
+
 val rows : t -> Value.tuple list
+(** Rows as association tuples, converted on demand (the compatibility
+    view of the positional storage). *)
+
+val rows_arrays : t -> row list
+(** The positional rows themselves, in header order. Shared: do not
+    mutate. *)
+
 val cardinality : t -> int
 val is_empty : t -> bool
 val has_attr : t -> string -> bool
 
+val offset_opt : t -> string -> int option
+(** Column offset of an attribute, for positional row access. *)
+
 val distinct : t -> t
 val project : ?distinct_rows:bool -> string list -> t -> t
+
 val select : (Value.tuple -> bool) -> t -> t
+(** Compatibility selection: converts each row to a tuple before
+    applying the predicate. Hot paths should compile the predicate to
+    offsets and use {!filter_rows}. *)
+
+val filter_rows : (row -> bool) -> t -> t
+(** Positional selection: no per-row conversion. *)
+
 val rename_attr : from:string -> into:string -> t -> t
 val prefix_attrs : string -> t -> t
 val union : t -> t -> t
@@ -45,6 +75,7 @@ val nest : into:string -> t -> t
 
 val distinct_count : string -> t -> int
 val column : string -> t -> Value.t list
+val compare_rows : row -> row -> int
 val sort_rows : t -> t
 val equal : t -> t -> bool
 val pp : t Fmt.t

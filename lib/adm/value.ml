@@ -140,4 +140,24 @@ let remove tuple attr = List.filter (fun (a, _) -> not (String.equal a attr)) tu
 
 let attrs tuple = List.map fst tuple
 
-let hash v = Hashtbl.hash (to_string v)
+(* Structural hash, consistent with [equal]: distinct constructors
+   hash apart (so [Int 1] and [Text "1"] never share a bucket chain
+   by construction) and no intermediate string is rendered. *)
+
+let hash_combine acc h = (acc * 31) + h
+
+let rec hash v =
+  (match v with
+  | Null -> 3
+  | Bool b -> hash_combine 5 (Bool.to_int b)
+  | Int i -> hash_combine 7 i
+  | Text s -> hash_combine 11 (Hashtbl.hash s)
+  | Link u -> hash_combine 13 (Hashtbl.hash u)
+  | Rows rows -> List.fold_left (fun acc t -> hash_combine acc (hash_tuple t)) 17 rows)
+  land max_int
+
+and hash_tuple t =
+  List.fold_left
+    (fun acc (a, v) -> hash_combine (hash_combine acc (Hashtbl.hash a)) (hash v))
+    19 t
+  land max_int

@@ -15,7 +15,11 @@ val equal : t -> t -> bool
 val equal_tuple : tuple -> tuple -> bool
 val compare : t -> t -> int
 val compare_tuple : tuple -> tuple -> int
+
 val hash : t -> int
+(** Structural, consistent with {!equal}; no string rendering. *)
+
+val hash_tuple : tuple -> int
 
 val is_atomic : t -> bool
 val is_null : t -> bool

@@ -59,11 +59,40 @@ let scheme_attr_names (schema : Adm.Schema.t) scheme =
 
 (* The page relation of a set of URLs: fetch each, qualify attributes
    with the alias. URLs whose page is gone are skipped (dangling
-   links are tolerated, as on the real web). *)
+   links are tolerated, as on the real web).
+
+   Rows are built positionally: wrapped page tuples list the URL
+   attribute followed by the scheme attributes in declaration order —
+   exactly the header — so the common case is a straight lock-step
+   copy; any straggler binding falls back to a lookup. *)
 let pages_relation schema source ~scheme ~alias urls =
-  let tuples = List.filter_map (fun url -> source.fetch ~scheme ~url) urls in
-  let rel = Adm.Relation.make (scheme_attr_names schema scheme) tuples in
-  Adm.Relation.prefix_attrs alias rel
+  let names = scheme_attr_names schema scheme in
+  let width = List.length names in
+  let row_of_tuple tuple =
+    let row = Array.make width Adm.Value.Null in
+    let rec go i names bindings =
+      match names with
+      | [] -> ()
+      | a :: names' -> (
+        match bindings with
+        | (b, v) :: rest when String.equal a b ->
+          row.(i) <- v;
+          go (i + 1) names' rest
+        | _ ->
+          (match Adm.Value.find tuple a with
+          | Some v -> row.(i) <- v
+          | None -> ());
+          go (i + 1) names' bindings)
+    in
+    go 0 names tuple;
+    row
+  in
+  let rows =
+    List.filter_map
+      (fun url -> Option.map row_of_tuple (source.fetch ~scheme ~url))
+      urls
+  in
+  Adm.Relation.prefix_attrs alias (Adm.Relation.of_arrays names rows)
 
 let rec eval (schema : Adm.Schema.t) (source : source) (e : Nalg.expr) : Adm.Relation.t =
   match e with
@@ -77,7 +106,9 @@ let rec eval (schema : Adm.Schema.t) (source : source) (e : Nalg.expr) : Adm.Rel
     | None ->
       raise (Not_computable (Fmt.str "page-scheme %s is not an entry point" scheme))
     | Some url -> pages_relation schema source ~scheme ~alias [ url ])
-  | Nalg.Select (p, e1) -> Adm.Relation.select (Pred.eval p) (eval schema source e1)
+  | Nalg.Select (p, e1) ->
+    let r = eval schema source e1 in
+    Adm.Relation.filter_rows (Pred.compile ~offset:(Adm.Relation.offset_opt r) p) r
   | Nalg.Project (attrs, e1) -> Adm.Relation.project attrs (eval schema source e1)
   | Nalg.Join (keys, e1, e2) ->
     Adm.Relation.equi_join keys (eval schema source e1) (eval schema source e2)

@@ -29,10 +29,7 @@ type outcome = {
 let rename_output (o : outcome) rel =
   let attrs = Adm.Relation.attrs rel in
   if List.length attrs = List.length o.select then
-    Adm.Relation.make o.select
-      (List.map
-         (fun row -> List.map2 (fun out (_, v) -> (out, v)) o.select row)
-         (Adm.Relation.rows rel))
+    Adm.Relation.of_arrays o.select (Adm.Relation.rows_arrays rel)
   else rel
 
 (* Closure of a set of expressions under one-step rewritings, with

@@ -48,6 +48,27 @@ let eval_atom a tuple = eval_cmp a.cmp (eval_operand tuple a.left) (eval_operand
 
 let eval (p : t) tuple = List.for_all (fun a -> eval_atom a tuple) p
 
+(* Positional compilation: resolve each attribute to a column offset
+   once, then evaluate rows by array indexing — no assoc scans.
+   Attributes missing from the header read as Null, so their atoms are
+   always false, as in [eval_operand]. *)
+let compile ~offset (p : t) : Adm.Value.t array -> bool =
+  let operand = function
+    | Const v -> fun _ -> v
+    | Attr a -> (
+      match offset a with
+      | Some i -> fun (row : Adm.Value.t array) -> row.(i)
+      | None -> fun _ -> Adm.Value.Null)
+  in
+  let atoms =
+    List.map
+      (fun a ->
+        let left = operand a.left and right = operand a.right and cmp = a.cmp in
+        fun row -> eval_cmp cmp (left row) (right row))
+      p
+  in
+  fun row -> List.for_all (fun f -> f row) atoms
+
 let subst_operand ~from ~into = function
   | Attr a when String.equal a from -> Attr into
   | other -> other

@@ -21,6 +21,12 @@ val eval_cmp : cmp -> Adm.Value.t -> Adm.Value.t -> bool
 val eval_atom : atom -> Adm.Value.tuple -> bool
 val eval : t -> Adm.Value.tuple -> bool
 
+val compile : offset:(string -> int option) -> t -> Adm.Value.t array -> bool
+(** Compile the predicate against a header: each attribute is resolved
+    to a column offset once (via [offset]), and the returned closure
+    evaluates positional rows without assoc lookups. Attributes with
+    no offset read as Null. *)
+
 val subst_attr : from:string -> into:string -> t -> t
 val map_attrs : (string -> string) -> t -> t
 

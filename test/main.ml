@@ -5,6 +5,7 @@ let () =
     [
       Test_value.suite;
       Test_relation.suite;
+      Test_kernel_oracle.suite;
       Test_html.suite;
       Test_schema.suite;
       Test_websim.suite;

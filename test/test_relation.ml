@@ -79,6 +79,35 @@ let test_join_null_keys () =
   let r = Relation.equi_join [ ("City", "CName") ] with_null cities in
   check int_t "null key never matches" 0 (Relation.cardinality r)
 
+(* Regression: join keys are structural, not string-rendered — values
+   of different types must never meet, even when they print alike. *)
+let test_join_no_type_confusion () =
+  let l =
+    Relation.make [ "A" ]
+      [ [ ("A", v_i 1) ]; [ ("A", v_t "1") ]; [ ("A", Value.Link "1") ];
+        [ ("A", Value.Bool true) ] ]
+  in
+  let join v =
+    Relation.cardinality
+      (Relation.equi_join [ ("A", "B") ] l (Relation.make [ "B" ] [ [ ("B", v) ] ]))
+  in
+  check int_t "Int 1 matches only Int 1" 1 (join (v_i 1));
+  check int_t "Text \"1\" matches only Text \"1\"" 1 (join (v_t "1"));
+  check int_t "Link \"1\" matches only Link \"1\"" 1 (join (Value.Link "1"));
+  check int_t "Text \"true\" matches nothing" 0 (join (v_t "true"))
+
+let test_positional_access () =
+  let r = Relation.of_arrays [ "A"; "B" ] [ [| v_i 1; v_t "x" |]; [| v_i 2; v_t "y" |] ] in
+  check (Alcotest.option int_t) "offset" (Some 1) (Relation.offset_opt r "B");
+  check (Alcotest.option int_t) "no offset" None (Relation.offset_opt r "Z");
+  let f = Relation.filter_rows (fun row -> row.(0) = v_i 2) r in
+  check int_t "filter_rows" 1 (Relation.cardinality f);
+  check bool_t "rows round-trip" true
+    (Relation.equal r (Relation.make [ "A"; "B" ] (Relation.rows r)));
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Relation.of_arrays: row has 1 slots, header has 2")
+    (fun () -> ignore (Relation.of_arrays [ "A"; "B" ] [ [| v_i 1 |] ]))
+
 let test_join_ambiguous () =
   Alcotest.check_raises "ambiguous attribute"
     (Invalid_argument "Relation.equi_join: ambiguous attribute \"Name\"")
@@ -220,6 +249,8 @@ let suite =
       Alcotest.test_case "select" `Quick test_select;
       Alcotest.test_case "equi join" `Quick test_equi_join;
       Alcotest.test_case "join null keys" `Quick test_join_null_keys;
+      Alcotest.test_case "join no type confusion" `Quick test_join_no_type_confusion;
+      Alcotest.test_case "positional access" `Quick test_positional_access;
       Alcotest.test_case "join ambiguous" `Quick test_join_ambiguous;
       Alcotest.test_case "unnest" `Quick test_unnest;
       Alcotest.test_case "unnest non-list" `Quick test_unnest_non_list;
