@@ -1,10 +1,23 @@
-.PHONY: build test bench bench-kernel examples clean
+.PHONY: build test check bench bench-kernel examples clean
 
 build:
 	dune build @all
 
 test:
 	dune runtest
+
+# Strict gate: warning-clean build, full test suite, and the static
+# analyzer over every generated site (schema + view lint plus sample
+# queries; nonzero exit on any error-severity diagnostic).
+check:
+	dune build --profile ci @all
+	dune runtest --profile ci
+	dune exec --profile ci bin/webviews_cli.exe -- check --site university \
+	  "SELECT p.PName, p.Email FROM Professor p, ProfDept pd WHERE p.PName = pd.PName AND pd.DName = 'Computer Science'" \
+	  "SELECT c.CName, ci.PName FROM Course c, CourseInstructor ci WHERE c.CName = ci.CName"
+	dune exec --profile ci bin/webviews_cli.exe -- check --site catalog \
+	  "SELECT p.PName, p.Price FROM Product p WHERE p.Category = 'Audio'"
+	dune exec --profile ci bin/webviews_cli.exe -- check --site bibliography
 
 # Regenerate every experiment of the paper plus bechamel timings.
 bench:

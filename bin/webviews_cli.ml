@@ -4,9 +4,10 @@
 
      webviews scheme   [--site ...]
      webviews crawl    [--site ...]
-     webviews plan     [--site ...] [--candidates N] "SELECT ..."
-     webviews query    [--site ...] "SELECT ..."
-     webviews matview  [--site ...] "SELECT ..."  *)
+     webviews plan     [--site ...] [--candidates N] [--cap N] "SELECT ..."
+     webviews query    [--site ...] [--cap N] "SELECT ..."
+     webviews matview  [--site ...] "SELECT ..."
+     webviews check    [--site ...] [--cap N] ["SELECT ..." ...]  *)
 
 open Cmdliner
 open Webviews
@@ -94,6 +95,12 @@ let seed_arg =
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
 
+let cap_arg =
+  Arg.(value & opt (some int) None & info [ "cap" ] ~docv:"N"
+         ~doc:"Override the planner's per-phase plan-space caps (join 1500, \
+               selection/projection 400). Hitting a cap is reported as a \
+               $(b,W0401) diagnostic.")
+
 let with_site f site depts profs courses seed =
   f (load site ~depts ~profs ~courses ~seed)
 
@@ -129,14 +136,17 @@ let crawl_cmd =
     (site_args run)
 
 let plan_cmd =
-  let run n dot sql loaded =
+  let run cap n dot sql loaded =
     if loaded.registry = [] then Fmt.epr "this site has no external view@."
     else begin
       let stats = stats_of loaded in
-      let outcome = Planner.plan_sql loaded.schema stats loaded.registry sql in
+      let outcome = Planner.plan_sql ?cap loaded.schema stats loaded.registry sql in
       if dot then Fmt.pr "%s@." (Explain.to_dot outcome.Planner.best.Planner.expr)
       else begin
         Fmt.pr "%a@." Explain.pp_outcome outcome;
+        List.iter
+          (fun d -> Fmt.pr "%a@." Diagnostic.pp d)
+          outcome.Planner.diagnostics;
         List.iteri
           (fun i (p : Planner.plan) ->
             if i < n then
@@ -157,17 +167,19 @@ let plan_cmd =
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Show the optimizer's candidate navigation plans for a query.")
-    Term.(const (fun site depts profs courses seed n dot sql ->
-              with_site (run n dot sql) site depts profs courses seed)
-          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ n_arg $ dot_arg
-          $ sql_arg)
+    Term.(const (fun site depts profs courses seed cap n dot sql ->
+              with_site (run cap n dot sql) site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg $ n_arg
+          $ dot_arg $ sql_arg)
 
 let query_cmd =
-  let run sql loaded =
+  let run cap sql loaded =
     let stats = stats_of loaded in
     let http = Websim.Http.connect loaded.site in
     let source = Eval.live_source loaded.schema http in
-    let outcome, result = Planner.run loaded.schema stats loaded.registry source sql in
+    let outcome, result =
+      Planner.run ?cap loaded.schema stats loaded.registry source sql
+    in
     Fmt.pr "plan (cost %.2f):@.%a@.@." outcome.Planner.best.Planner.cost Nalg.pp_plan
       outcome.Planner.best.Planner.expr;
     Fmt.pr "%a@.@." Adm.Relation.pp result;
@@ -175,9 +187,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Plan and execute a SQL query over the site's relational view.")
-    Term.(const (fun site depts profs courses seed sql ->
-              with_site (run sql) site depts profs courses seed)
-          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ sql_arg)
+    Term.(const (fun site depts profs courses seed cap sql ->
+              with_site (run cap sql) site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg $ sql_arg)
 
 let matview_cmd =
   let run sql loaded =
@@ -247,12 +259,68 @@ let discover_cmd =
           paper assigns to WebSQL-style exploration).")
     (site_args run)
 
+let check_cmd =
+  let run cap sqls loaded =
+    let section title = function
+      | [] -> Fmt.pr "%s: ok@." title
+      | ds ->
+        Fmt.pr "%s:@." title;
+        List.iter
+          (fun d -> Fmt.pr "  %a@." Diagnostic.pp d)
+          (List.sort Diagnostic.compare ds)
+    in
+    let schema_diags = Typecheck.lint_schema loaded.schema in
+    section "schema" schema_diags;
+    let registry_diags = Typecheck.lint_registry loaded.schema loaded.registry in
+    section "view registry" registry_diags;
+    (* crawl lazily: pure lint runs offline, planning needs stats *)
+    let stats = lazy (stats_of loaded) in
+    let query_diags =
+      List.concat_map
+        (fun sql ->
+          let lint = Typecheck.lint_sql loaded.schema loaded.registry sql in
+          let planner =
+            if Diagnostic.has_errors lint || loaded.registry = [] then []
+            else
+              match
+                Planner.plan_sql ?cap loaded.schema (Lazy.force stats)
+                  loaded.registry sql
+              with
+              | outcome -> outcome.Planner.diagnostics
+              | exception Invalid_argument msg ->
+                [ Diagnostic.error ~code:"E0309" "planning failed: %s" msg ]
+          in
+          section (Fmt.str "query %S" sql) (lint @ planner);
+          lint @ planner)
+        sqls
+    in
+    let all = schema_diags @ registry_diags @ query_diags in
+    Fmt.pr "@.%s@." (Diagnostic.summary all);
+    exit (Diagnostic.exit_code all)
+  in
+  let sqls_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"SQL"
+           ~doc:"Queries to check (each also planned, with the \
+                 rewrite-soundness check live).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the static analyzer: lint the site's web scheme and view \
+          registry, check each given query, and plan it with the \
+          rewrite-soundness differential check enabled. Exits nonzero when \
+          any error-severity diagnostic is reported.")
+    Term.(const (fun site depts profs courses seed cap sqls ->
+              with_site (run cap sqls) site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg
+          $ sqls_arg)
+
 let main_cmd =
   let doc = "Efficient queries over web views (EDBT 1998 reproduction)" in
   Cmd.group (Cmd.info "webviews" ~doc)
     [
       scheme_cmd; crawl_cmd; plan_cmd; query_cmd; matview_cmd; navigations_cmd;
-      discover_cmd;
+      discover_cmd; check_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -25,6 +25,44 @@ let is_link = function Link _ -> true | Text | Int | Image | List _ -> false
 
 let link_target = function Link p -> Some p | Text | Int | Image | List _ -> None
 
+let rec equal t1 t2 =
+  match t1, t2 with
+  | Text, Text | Int, Int | Image, Image -> true
+  | Link p1, Link p2 -> String.equal p1 p2
+  | List f1, List f2 ->
+    List.length f1 = List.length f2
+    && List.for_all2
+         (fun (a1, x1) (a2, x2) -> String.equal a1 a2 && equal x1 x2)
+         f1 f2
+  | (Text | Int | Image | Link _ | List _), _ -> false
+
+(* Comparability for predicates and join keys. Images are represented
+   as text (source paths), so the two compare; links compare with
+   links regardless of target (URL equality is meaningful across
+   page-schemes); lists are compatible field-wise. *)
+let rec compatible t1 t2 =
+  match t1, t2 with
+  | (Text | Image), (Text | Image) -> true
+  | Int, Int -> true
+  | Link _, Link _ -> true
+  | List f1, List f2 ->
+    List.length f1 = List.length f2
+    && List.for_all2
+         (fun (a1, x1) (a2, x2) -> String.equal a1 a2 && compatible x1 x2)
+         f1 f2
+  | (Text | Int | Image | Link _ | List _), _ -> false
+
+(* The web type a constant value inhabits, for static predicate
+   typing. [Link ""] stands for "a link to an unknown page-scheme";
+   use {!compatible}, not {!equal}, on the result. Null and booleans
+   carry no type information. *)
+let of_value : Value.t -> t option = function
+  | Value.Null | Value.Bool _ -> None
+  | Value.Int _ -> Some Int
+  | Value.Text _ -> Some Text
+  | Value.Link _ -> Some (Link "")
+  | Value.Rows _ -> Some (List [])
+
 (* Structural validation of a value against a type. Null is accepted
    everywhere; optionality is enforced at the page-scheme level. *)
 let rec accepts ty (v : Value.t) =

@@ -16,6 +16,19 @@ val is_multi : t -> bool
 val is_link : t -> bool
 val link_target : t -> string option
 
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val compatible : t -> t -> bool
+(** Comparability for predicates and join keys: text and image values
+    compare (both render as text), links compare with links regardless
+    of target, lists field-wise. *)
+
+val of_value : Value.t -> t option
+(** The web type a constant inhabits ([None] for nulls and booleans).
+    Links map to [Link ""] — an unknown target — so check the result
+    with {!compatible}, not {!equal}. *)
+
 val accepts : t -> Value.t -> bool
 (** Structural validation of a value against a type ([Null] accepted
     everywhere). *)

@@ -82,6 +82,52 @@ let to_dot (root : Nalg.expr) : string =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Diagnostic location                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk a diagnostic's path (see {!Diagnostic.t}) down the expression
+   tree to the operator it points at. *)
+let locate (root : Nalg.expr) (path : string list) : Nalg.expr option =
+  let rec go e = function
+    | [] -> Some e
+    | step :: rest -> (
+      match step, (e : Nalg.expr) with
+      | "select", Nalg.Select (_, e1) -> go e1 rest
+      | "project", Nalg.Project (_, e1) -> go e1 rest
+      | "join.left", Nalg.Join (_, e1, _) -> go e1 rest
+      | "join.right", Nalg.Join (_, _, e2) -> go e2 rest
+      | "unnest", Nalg.Unnest (e1, _) -> go e1 rest
+      | "follow", Nalg.Follow { src; _ } -> go src rest
+      | _, (Nalg.Entry _ | Nalg.External _ | Nalg.Select _ | Nalg.Project _
+           | Nalg.Join _ | Nalg.Unnest _ | Nalg.Follow _) ->
+        None)
+  in
+  go root path
+
+(* One-line operator label, for pointing diagnostics at plan nodes
+   without printing whole subtrees. *)
+let node_label (e : Nalg.expr) =
+  match e with
+  | Nalg.Entry { scheme; alias } ->
+    if String.equal scheme alias then scheme else Fmt.str "%s as %s" scheme alias
+  | Nalg.External { name; _ } -> Fmt.str "ext:%s" name
+  | Nalg.Select (p, _) -> Fmt.str "σ %s" (Pred.to_string p)
+  | Nalg.Project (attrs, _) -> Fmt.str "π %s" (String.concat ", " attrs)
+  | Nalg.Join (keys, _, _) ->
+    Fmt.str "⋈ %s"
+      (String.concat ", " (List.map (fun (a, b) -> Fmt.str "%s=%s" a b) keys))
+  | Nalg.Unnest (_, a) -> Fmt.str "◦ %s" a
+  | Nalg.Follow { link; scheme; _ } -> Fmt.str "→ %s via %s" scheme link
+
+(* A diagnostic with its location resolved against the plan it was
+   reported on: "error[E0104] at select/unnest (◦ ProfPage.Rank): …" *)
+let pp_located root ppf (d : Diagnostic.t) =
+  match locate root d.Diagnostic.path with
+  | Some node when d.Diagnostic.path <> [] ->
+    Fmt.pf ppf "%a (%s)" Diagnostic.pp d (node_label node)
+  | Some _ | None -> Diagnostic.pp ppf d
+
 (* Strategy classification for the Section 7 experiments: a plan that
    joins link sets follows the pointer-join approach; a pure
    navigation plan is a pointer chase. *)
@@ -106,7 +152,10 @@ let best_of_strategy (o : Planner.outcome) s =
 (* One-line summary of a planner outcome. *)
 let pp_outcome ppf (o : Planner.outcome) =
   Fmt.pf ppf "%d candidate plans, best cost %.2f" (List.length o.Planner.candidates)
-    o.Planner.best.Planner.cost
+    o.Planner.best.Planner.cost;
+  match o.Planner.diagnostics with
+  | [] -> ()
+  | ds -> Fmt.pf ppf " (%s)" (Diagnostic.summary ds)
 
 (* Tabulate all candidates with their costs. *)
 let pp_candidates ppf (o : Planner.outcome) =

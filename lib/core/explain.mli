@@ -9,6 +9,18 @@ val to_dot : Nalg.expr -> string
 (** Graphviz rendering of the plan, paper-figure style (page relations
     as boxes, link operators as upward edges). *)
 
+val locate : Nalg.expr -> string list -> Nalg.expr option
+(** Walk a {!Diagnostic.t} path (["select"], ["join.left"], …) down an
+    expression tree to the operator the diagnostic points at. [None]
+    when the path does not match the tree. *)
+
+val node_label : Nalg.expr -> string
+(** One-line label of an operator (no subtrees). *)
+
+val pp_located : Nalg.expr -> Diagnostic.t Fmt.t
+(** Render a diagnostic with its path resolved against the plan it was
+    reported on, appending the offending operator's label. *)
+
 type strategy = Pointer_join | Pointer_chase
 
 val strategy : Nalg.expr -> strategy

@@ -82,6 +82,29 @@ let rec map f e =
 
 let size e = fold (fun n _ -> n + 1) 0 e
 
+(* Structural equality. Predicates compare atom-by-atom, so two plans
+   are equal exactly when they are the same tree — rewrites that only
+   reorder atoms produce distinct (if equivalent) plans, as before. *)
+let rec equal e1 e2 =
+  match e1, e2 with
+  | Entry a, Entry b -> String.equal a.scheme b.scheme && String.equal a.alias b.alias
+  | External a, External b -> String.equal a.name b.name && String.equal a.alias b.alias
+  | Select (p1, a), Select (p2, b) -> Pred.equal p1 p2 && equal a b
+  | Project (attrs1, a), Project (attrs2, b) ->
+    List.equal String.equal attrs1 attrs2 && equal a b
+  | Join (k1, a1, a2), Join (k2, b1, b2) ->
+    List.equal
+      (fun (l1, r1) (l2, r2) -> String.equal l1 l2 && String.equal r1 r2)
+      k1 k2
+    && equal a1 b1 && equal a2 b2
+  | Unnest (a, x), Unnest (b, y) -> String.equal x y && equal a b
+  | Follow f1, Follow f2 ->
+    String.equal f1.link f2.link
+    && String.equal f1.scheme f2.scheme
+    && String.equal f1.alias f2.alias && equal f1.src f2.src
+  | (Entry _ | External _ | Select _ | Project _ | Join _ | Unnest _ | Follow _), _
+    -> false
+
 (* Aliases in scope: alias -> page-scheme name. External occurrences
    are reported with their relation name. *)
 let alias_env e =
@@ -176,76 +199,41 @@ and unnested_attrs schema e1 attr =
         List.map (fun (a, _) -> attr ^ "." ^ a) fields
       | Some _ | None -> []))
 
-(* ------------------------------------------------------------------ *)
-(* Static well-formedness checking                                     *)
-(* ------------------------------------------------------------------ *)
+(* Memoized variant for callers that query output attributes of many
+   overlapping subexpressions (selection sinking, pruning, the
+   typechecker's soundness pass): one table per invocation, keyed by
+   structural equality, turns the naive quadratic recomputation into a
+   single bottom-up pass. *)
+module Expr_tbl = Hashtbl.Make (struct
+  type t = expr
 
-(* Verify that every operator only references attributes its input
-   provides, that unnests target list attributes, that follows target
-   link attributes of the declared scheme, and that entries are entry
-   points. Returns the problems found (empty = well-formed). *)
-let check (schema : Adm.Schema.t) (root : expr) : string list =
-  let errors = ref [] in
-  let err fmt = Fmt.kstr (fun m -> errors := m :: !errors) fmt in
-  let resolve e attr =
-    match constraint_path_of_attr e attr with
-    | None -> None
-    | Some (path, _alias) -> (
-      match Adm.Schema.find_scheme schema path.Adm.Constraints.scheme with
-      | None -> None
-      | Some ps -> Adm.Page_scheme.resolve_path ps path.Adm.Constraints.steps)
-  in
-  let require_available e where attrs =
-    let out = output_attrs schema e in
-    List.iter
-      (fun a -> if not (List.mem a out) then err "%s references unavailable attribute %s" where a)
+  let equal = equal
+  let hash = Hashtbl.hash
+end)
+
+let output_attrs_memo (schema : Adm.Schema.t) : expr -> string list =
+  let tbl = Expr_tbl.create 256 in
+  let rec go e =
+    match Expr_tbl.find_opt tbl e with
+    | Some attrs -> attrs
+    | None ->
+      let attrs =
+        match e with
+        | Entry { scheme; alias } -> scheme_attrs schema ~scheme ~alias
+        | External { name; alias } -> [ alias ^ ".*" ^ name ]
+        | Select (_, e1) -> go e1
+        | Project (attrs, _) -> attrs
+        | Join (_, e1, e2) -> go e1 @ go e2
+        | Unnest (e1, attr) ->
+          let inner = unnested_attrs schema e1 attr in
+          List.filter (fun a -> not (String.equal a attr)) (go e1) @ inner
+        | Follow { src; scheme; alias; _ } ->
+          go src @ scheme_attrs schema ~scheme ~alias
+      in
+      Expr_tbl.add tbl e attrs;
       attrs
   in
-  let rec go e =
-    match e with
-    | External _ -> err "external relation remains (not computable)"
-    | Entry { scheme; _ } -> (
-      match Adm.Schema.find_scheme schema scheme with
-      | None -> err "unknown page-scheme %s" scheme
-      | Some ps ->
-        if not (Adm.Page_scheme.is_entry_point ps) then
-          err "page-scheme %s is not an entry point" scheme)
-    | Select (p, e1) ->
-      require_available e1 "selection" (Pred.attrs p);
-      go e1
-    | Project (attrs, e1) ->
-      require_available e1 "projection" attrs;
-      go e1
-    | Join (keys, e1, e2) ->
-      require_available e1 "join (left)" (List.map fst keys);
-      require_available e2 "join (right)" (List.map snd keys);
-      (* output attributes must stay unambiguous *)
-      let o1 = output_attrs schema e1 and o2 = output_attrs schema e2 in
-      List.iter
-        (fun a ->
-          if List.mem a o1 then err "join produces ambiguous attribute %s" a)
-        o2;
-      go e1;
-      go e2
-    | Unnest (e1, attr) ->
-      require_available e1 "unnest" [ attr ];
-      (match resolve e1 attr with
-      | Some (Adm.Webtype.List _) | None -> ()
-      | Some ty ->
-        err "unnest of %s: not a list attribute (%s)" attr (Adm.Webtype.to_string ty));
-      go e1
-    | Follow { src; link; scheme; alias = _ } ->
-      require_available src "follow" [ link ];
-      (match resolve src link with
-      | Some (Adm.Webtype.Link target) ->
-        if not (String.equal target scheme) then
-          err "follow of %s reaches %s, plan says %s" link target scheme
-      | Some ty -> err "follow of %s: not a link attribute (%s)" link (Adm.Webtype.to_string ty)
-      | None -> ());
-      go src
-  in
-  go root;
-  List.rev !errors
+  go
 
 (* ------------------------------------------------------------------ *)
 (* Attribute renaming                                                  *)
@@ -334,8 +322,6 @@ let to_string e = Fmt.str "%a" pp e
 
 (* Canonical form for deduplication during plan enumeration. *)
 let canonical e = to_string e
-
-let equal e1 e2 = String.equal (canonical e1) (canonical e2)
 
 (* Indented query-plan tree, in the style of the paper's Figures 2–4
    (unnest kept infix, link operators drawn as upward edges). *)

@@ -52,6 +52,9 @@ val map : (expr -> expr) -> expr -> expr
 
 val size : expr -> int
 
+val equal : expr -> expr -> bool
+(** Structural equality: same tree, predicates compared atom-by-atom. *)
+
 val alias_env : expr -> (string * string) list
 (** Aliases in scope, as [(alias, page-scheme name)]. *)
 
@@ -73,11 +76,13 @@ val constraint_path_of_attr :
 val output_attrs : Adm.Schema.t -> expr -> string list
 (** Statically computed output attribute names. *)
 
-val check : Adm.Schema.t -> expr -> string list
-(** Static well-formedness: every operator references only available
-    attributes, unnests target lists, follows target link attributes
-    of the declared scheme, entries are entry points, no externals
-    remain. Returns the problems found (empty = well-formed). *)
+val output_attrs_memo : Adm.Schema.t -> expr -> string list
+(** Like {!output_attrs}, but each application shares one memo table
+    keyed on subexpressions (structural equality), so repeated queries
+    over overlapping subtrees cost a single bottom-up pass. Apply once
+    and reuse the closure.
+
+    Full static well-formedness checking lives in {!Typecheck}. *)
 
 (** {1 Renaming} *)
 
@@ -92,6 +97,5 @@ val to_string : expr -> string
 val canonical : expr -> string
 (** Canonical form used for plan deduplication. *)
 
-val equal : expr -> expr -> bool
 val pp_plan : expr Fmt.t
 (** Indented query-plan tree in the style of the paper's Figures 2–4. *)

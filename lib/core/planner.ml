@@ -18,6 +18,11 @@ type outcome = {
   candidates : plan list; (* all candidates, sorted by cost *)
   explored : int;
   select : string list; (* the query's output attributes, in order *)
+  diagnostics : Diagnostic.t list;
+      (* findings of the enumeration: W0401 when a plan-space cap
+         truncated a closure phase, E0402/E0403 when a rewrite step
+         failed the soundness check, E0404 for candidates rejected as
+         ill-typed before costing *)
 }
 
 (* Candidate plans name their output columns after the page-scheme
@@ -33,8 +38,13 @@ let rename_output (o : outcome) rel =
   else rel
 
 (* Closure of a set of expressions under one-step rewritings, with
-   deduplication by canonical form and a safety cap. *)
-let closure ?(cap = 400) (rules : (Nalg.expr -> Nalg.expr list) list) (seeds : Nalg.expr list) =
+   deduplication by canonical form and a safety cap. Returns the
+   plans plus whether the cap truncated the exploration (work left in
+   the queue when the loop stopped). [on_rewrite] fires on every rule
+   application, before deduplication — the planner hooks the
+   rewrite-soundness check here. *)
+let closure ?(cap = 400) ?(on_rewrite = fun ~parent:_ ~child:_ -> ())
+    (rules : (Nalg.expr -> Nalg.expr list) list) (seeds : Nalg.expr list) =
   let seen = Hashtbl.create 64 in
   let out = ref [] in
   let queue = Queue.create () in
@@ -49,9 +59,16 @@ let closure ?(cap = 400) (rules : (Nalg.expr -> Nalg.expr list) list) (seeds : N
   List.iter add seeds;
   while (not (Queue.is_empty queue)) && Hashtbl.length seen < cap do
     let e = Queue.pop queue in
-    List.iter (fun rule -> List.iter add (rule e)) rules
+    List.iter
+      (fun rule ->
+        List.iter
+          (fun e' ->
+            on_rewrite ~parent:e ~child:e';
+            add e')
+          (rule e))
+      rules
   done;
-  List.rev !out
+  (List.rev !out, not (Queue.is_empty queue))
 
 (* Apply a deterministic rule to fixpoint (first rewrite each round). *)
 let fixpoint ?(max_rounds = 50) (rule : Nalg.expr -> Nalg.expr list) e =
@@ -64,12 +81,50 @@ let fixpoint ?(max_rounds = 50) (rule : Nalg.expr -> Nalg.expr list) e =
   in
   go max_rounds e
 
-let enumerate ?(pointer_rules = true) ?(constraint_selections = true)
+let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
     (schema : Adm.Schema.t) (stats : Stats.t) (registry : View.registry)
     (q : Conjunctive.t) : outcome =
   (* [pointer_rules] and [constraint_selections] exist for ablation
      studies: without rules 8/9 (resp. rule 6) the planner falls back
-     to the constraint-blind plans. *)
+     to the constraint-blind plans. [cap], when given, overrides the
+     per-phase plan-space caps (join 1500, selection/projection 400). *)
+  let join_cap = Option.value cap ~default:1500 in
+  let other_cap = Option.value cap ~default:400 in
+  let diagnostics = ref [] in
+  let diag d = diagnostics := d :: !diagnostics in
+  (* Rewrite soundness (E0402/E0403), with type inference memoized by
+     canonical form — each distinct plan of the closure is inferred
+     once — and at most one report per offending child plan. *)
+  let inferred = Hashtbl.create 256 in
+  let infer_cached e =
+    let k = Nalg.canonical e in
+    match Hashtbl.find_opt inferred k with
+    | Some r -> r
+    | None ->
+      let r = Typecheck.infer schema e in
+      Hashtbl.add inferred k r;
+      r
+  in
+  let judged = Hashtbl.create 256 in
+  let on_rewrite ~parent ~child =
+    let k = Nalg.canonical child in
+    if not (Hashtbl.mem judged k) then begin
+      Hashtbl.add judged k ();
+      List.iter diag
+        (Typecheck.judge ~parent:(infer_cached parent)
+           ~child:(infer_cached child))
+    end
+  in
+  let closure_phase ~phase ~cap rules seeds =
+    let plans, capped = closure ~cap ~on_rewrite rules seeds in
+    if capped then
+      diag
+        (Diagnostic.warning ~code:"W0401"
+           "plan-space cap %d hit during the %s phase; enumeration truncated \
+            (raise --cap to explore further)"
+           cap phase);
+    plans
+  in
   let base = Conjunctive.to_algebra q in
   (* Step 2: rule 1 *)
   let expanded = View.expand registry base in
@@ -89,10 +144,12 @@ let enumerate ?(pointer_rules = true) ?(constraint_selections = true)
       [ Rewrite.rule8 schema; Rewrite.rule9 schema; Rewrite.rule2 schema ]
     else []
   in
-  let with_joins = closure ~cap:1500 join_rules merged in
+  let with_joins = closure_phase ~phase:"join" ~cap:join_cap join_rules merged in
   (* Step 5: closure under rule 6, then sink selections *)
   let with_selections =
-    (if constraint_selections then closure [ Rewrite.rule6 schema ] with_joins
+    (if constraint_selections then
+       closure_phase ~phase:"selection" ~cap:other_cap
+         [ Rewrite.rule6 schema ] with_joins
      else with_joins)
     |> List.map (Rewrite.sink_selections schema)
   in
@@ -101,12 +158,14 @@ let enumerate ?(pointer_rules = true) ?(constraint_selections = true)
      — together these drop navigations that only read replicated
      values *)
   let with_projections =
-    (if constraint_selections then closure [ Rewrite.rule7_replace schema ] with_selections
+    (if constraint_selections then
+       closure_phase ~phase:"projection" ~cap:other_cap
+         [ Rewrite.rule7_replace schema ] with_selections
      else with_selections)
     |> List.map (Rewrite.prune schema)
   in
   let pruned = with_projections in
-  (* dedup once more; estimate; sort *)
+  (* dedup once more; typecheck gate; estimate; sort *)
   let seen = Hashtbl.create 64 in
   let candidates =
     List.filter
@@ -119,6 +178,15 @@ let enumerate ?(pointer_rules = true) ?(constraint_selections = true)
         end)
       pruned
     |> List.filter Nalg.is_computable
+    |> List.filter (fun e ->
+           let _, ds = infer_cached e in
+           if Diagnostic.has_errors ds then begin
+             diag
+               (Diagnostic.error ~code:"E0404"
+                  "rejected ill-typed candidate plan %s" (Nalg.to_string e));
+             false
+           end
+           else true)
     |> List.map (fun e ->
            let est = Cost.estimate schema stats e e in
            { expr = e; cost = est.Cost.cost; card = est.Cost.card })
@@ -127,16 +195,23 @@ let enumerate ?(pointer_rules = true) ?(constraint_selections = true)
   match candidates with
   | [] -> invalid_arg "Planner.enumerate: no computable plan"
   | best :: _ ->
-    { best; candidates; explored = List.length pruned; select = q.Conjunctive.select }
+    {
+      best;
+      candidates;
+      explored = List.length pruned;
+      select = q.Conjunctive.select;
+      diagnostics = List.rev !diagnostics;
+    }
 
-let plan_sql ?pointer_rules ?constraint_selections schema stats registry sql =
-  enumerate ?pointer_rules ?constraint_selections schema stats registry
+let plan_sql ?cap ?pointer_rules ?constraint_selections schema stats registry
+    sql =
+  enumerate ?cap ?pointer_rules ?constraint_selections schema stats registry
     (Sql_parser.parse registry sql)
 
 (* Plan and execute a SQL query against a page source. Returns the
    chosen plan and the result. *)
-let run schema stats registry source sql =
-  let outcome = plan_sql schema stats registry sql in
+let run ?cap schema stats registry source sql =
+  let outcome = plan_sql ?cap schema stats registry sql in
   let result = rename_output outcome (Eval.eval schema source outcome.best.expr) in
   (outcome, result)
 

@@ -13,6 +13,10 @@ type outcome = {
   candidates : plan list;  (** all candidates, sorted by cost *)
   explored : int;
   select : string list;  (** the query's output attributes, in order *)
+  diagnostics : Diagnostic.t list;
+      (** enumeration findings: [W0401] cap truncations, [E0402] /
+          [E0403] rewrite-soundness violations, [E0404] ill-typed
+          candidates rejected before costing *)
 }
 
 val rename_output : outcome -> Adm.Relation.t -> Adm.Relation.t
@@ -21,29 +25,42 @@ val rename_output : outcome -> Adm.Relation.t -> Adm.Relation.t
     navigate, which differ between candidates). *)
 
 val closure :
-  ?cap:int -> (Nalg.expr -> Nalg.expr list) list -> Nalg.expr list ->
-  Nalg.expr list
+  ?cap:int ->
+  ?on_rewrite:(parent:Nalg.expr -> child:Nalg.expr -> unit) ->
+  (Nalg.expr -> Nalg.expr list) list ->
+  Nalg.expr list ->
+  Nalg.expr list * bool
 (** Closure of a seed set under one-step rewritings, deduplicated by
-    canonical form, with a safety cap. *)
+    canonical form, with a safety cap. The boolean is [true] when the
+    cap truncated the exploration (work was still queued).
+    [on_rewrite] fires on every rule application, before
+    deduplication. *)
 
 val fixpoint :
   ?max_rounds:int -> (Nalg.expr -> Nalg.expr list) -> Nalg.expr -> Nalg.expr
 
 val enumerate :
+  ?cap:int ->
   ?pointer_rules:bool ->
   ?constraint_selections:bool ->
   Adm.Schema.t -> Stats.t -> View.registry -> Conjunctive.t -> outcome
 (** Raises [Invalid_argument] when no computable plan exists.
     [pointer_rules] (default true) enables rules 2/8/9;
     [constraint_selections] (default true) enables rule 6 — both exist
-    for ablation studies. *)
+    for ablation studies. [cap] overrides the per-phase plan-space
+    caps (join 1500, selection / projection 400); hitting a cap is
+    reported as a [W0401] diagnostic in the outcome. Every rewrite
+    step is checked by {!Typecheck.judge}; ill-typed candidates are
+    rejected before costing. *)
 
 val plan_sql :
+  ?cap:int ->
   ?pointer_rules:bool ->
   ?constraint_selections:bool ->
   Adm.Schema.t -> Stats.t -> View.registry -> string -> outcome
 
 val run :
+  ?cap:int ->
   Adm.Schema.t -> Stats.t -> View.registry -> Eval.source -> string ->
   outcome * Adm.Relation.t
 (** Plan, execute the best plan, rename the output columns. *)

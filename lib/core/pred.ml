@@ -21,6 +21,17 @@ let cmp_to_string = function
   | Gt -> ">"
   | Ge -> ">="
 
+let operand_equal o1 o2 =
+  match o1, o2 with
+  | Attr a, Attr b -> String.equal a b
+  | Const u, Const v -> Adm.Value.equal u v
+  | (Attr _ | Const _), _ -> false
+
+let atom_equal a1 a2 =
+  operand_equal a1.left a2.left && a1.cmp = a2.cmp && operand_equal a1.right a2.right
+
+let equal (p1 : t) (p2 : t) = List.equal atom_equal p1 p2
+
 let operand_attrs = function Attr a -> [ a ] | Const _ -> []
 
 let atom_attrs a = operand_attrs a.left @ operand_attrs a.right

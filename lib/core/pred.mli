@@ -14,6 +14,13 @@ val eq_const : string -> Adm.Value.t -> atom
 val eq_attrs : string -> string -> atom
 
 val cmp_to_string : cmp -> string
+
+val operand_equal : operand -> operand -> bool
+val atom_equal : atom -> atom -> bool
+val equal : t -> t -> bool
+(** Structural equality (atom order matters — a conjunction is kept as
+    written). *)
+
 val atom_attrs : atom -> string list
 val attrs : t -> string list
 

@@ -483,6 +483,9 @@ let subset attrs available = List.for_all (fun a -> List.mem a available) attrs
    attributes. Equalities implied by link constraints are not used
    here — that is rule 6's job; this is plain commutation. *)
 let sink_selections (schema : Adm.Schema.t) (e : expr) : expr =
+  (* one memo table per invocation: the same subtrees are queried at
+     every enclosing operator on the way down *)
+  let out = output_attrs_memo schema in
   let rec place (atoms : Pred.atom list) e =
     match e with
     | Select (p, e1) -> place (atoms @ p) e1
@@ -493,20 +496,20 @@ let sink_selections (schema : Adm.Schema.t) (e : expr) : expr =
       in
       wrap here (Project (attrs, place inside e1))
     | Unnest (e1, a) ->
-      let avail = output_attrs schema e1 in
+      let avail = out e1 in
       let inside, here =
         List.partition (fun at -> subset (Pred.atom_attrs at) avail) atoms
       in
       wrap here (Unnest (place inside e1, a))
     | Follow fl ->
-      let avail = output_attrs schema fl.src in
+      let avail = out fl.src in
       let inside, here =
         List.partition (fun at -> subset (Pred.atom_attrs at) avail) atoms
       in
       wrap here (Follow { fl with src = place inside fl.src })
     | Join (keys, e1, e2) ->
-      let a1 = output_attrs schema e1 in
-      let a2 = output_attrs schema e2 in
+      let a1 = out e1 in
+      let a2 = out e2 in
       let left, rest = List.partition (fun at -> subset (Pred.atom_attrs at) a1) atoms in
       let right, here = List.partition (fun at -> subset (Pred.atom_attrs at) a2) rest in
       wrap here (Join (keys, place left e1, place right e2))

@@ -181,12 +181,12 @@ let resolve_operand registry from = function
   | Str s -> Pred.Const (Adm.Value.Text s)
   | Num i -> Pred.Const (Adm.Value.Int i)
 
-let parse (registry : View.registry) input : Conjunctive.t =
+(* Shared by [parse] and [parse_unchecked]: name resolution without
+   the final semantic validation, so the static analyzer can report
+   semantic problems as structured diagnostics instead of a single
+   exception. *)
+let parse_resolved (registry : View.registry) input : Conjunctive.t =
   let raw = parse_raw input in
-  List.iter
-    (fun (rel, _) ->
-      if View.find registry rel = None then fail "unknown relation %s" rel)
-    raw.raw_from;
   let select =
     match raw.raw_select with
     | Some cols -> List.map (resolve_column registry raw.raw_from) cols
@@ -210,7 +210,16 @@ let parse (registry : View.registry) input : Conjunctive.t =
       raw.raw_where
   in
   let from = List.map (fun (rel, alias) -> Conjunctive.source ~alias rel) raw.raw_from in
-  let q = Conjunctive.make ~select ~from ~where in
+  Conjunctive.make ~select ~from ~where
+
+let parse_unchecked = parse_resolved
+
+let parse (registry : View.registry) input : Conjunctive.t =
+  let q = parse_resolved registry input in
+  List.iter
+    (fun (s : Conjunctive.source) ->
+      if View.find registry s.rel = None then fail "unknown relation %s" s.rel)
+    q.from;
   match Conjunctive.validate registry q with
   | [] -> q
   | errors -> fail "%s" (String.concat "; " errors)

@@ -25,3 +25,10 @@ val parse_raw : string -> raw_query
 val parse : View.registry -> string -> Conjunctive.t
 (** Parse and resolve names against the registry; raises
     {!Parse_error} on unknown or ambiguous names. *)
+
+val parse_unchecked : View.registry -> string -> Conjunctive.t
+(** Like {!parse} but without the final semantic validation: unknown
+    relations or attributes survive into the result, for the static
+    analyzer ({!Typecheck.lint_query}) to report as structured
+    diagnostics. Still raises {!Parse_error} on syntax errors and on
+    unqualified columns that cannot be resolved. *)

@@ -10,6 +10,7 @@ let () =
       Test_schema.suite;
       Test_websim.suite;
       Test_nalg.suite;
+      Test_typecheck.suite;
       Test_rewrite.suite;
       Test_planner.suite;
       Test_matview.suite;

@@ -158,7 +158,8 @@ let prop_plans_statically_well_formed =
     query_arb (fun sql ->
       let outcome = Planner.plan_sql schema (Lazy.force stats) registry sql in
       List.for_all
-        (fun (p : Planner.plan) -> Nalg.check schema p.Planner.expr = [])
+        (fun (p : Planner.plan) ->
+          not (Diagnostic.has_errors (Typecheck.check schema p.Planner.expr)))
         outcome.Planner.candidates)
 
 let prop_matview_agrees_with_live =

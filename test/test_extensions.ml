@@ -407,7 +407,7 @@ let test_infer_navigations_are_well_formed () =
       List.iter
         (fun nav ->
           check Alcotest.(list string) (Fmt.str "%s nav checks" scheme) []
-            (Nalg.check uni_schema nav))
+            (List.map Diagnostic.to_string (Typecheck.check uni_schema nav)))
         (View.infer_navigations uni_schema ~scheme))
     [ "ProfPage"; "CoursePage"; "DeptPage"; "SessionPage" ]
 
