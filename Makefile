@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-kernel examples clean
+.PHONY: build test check bench bench-kernel bench-fetch examples clean
 
 build:
 	dune build @all
@@ -29,6 +29,14 @@ bench:
 # tracked across PRs.
 bench-kernel:
 	dune exec bench/main.exe -- kernel
+
+# Fetch-engine benchmark: the two literal plans of example 7.2 through
+# the resilient fetch engine over a simulated network — batched-window
+# speedup and exactness under a 10% transient failure rate. Writes
+# BENCH_fetch.json in the current directory; commit it so the
+# trajectory is tracked across PRs.
+bench-fetch:
+	dune exec bench/main.exe -- fetch
 
 examples:
 	dune exec examples/quickstart.exe

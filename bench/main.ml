@@ -707,6 +707,99 @@ let kernel () =
   Fmt.pr "@.wrote BENCH_kernel.json (%d entries)@." (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* Fetch-engine benchmark: batched windows and fault resilience        *)
+(* ------------------------------------------------------------------ *)
+
+(* The two literal plans of Example 7.2 through the resilient fetch
+   engine over a simulated network. Batching a navigation's URL set
+   under window w overlaps the per-page latencies, so the simulated
+   elapsed time drops by ~w; and a 10% transient failure rate still
+   yields the exact fault-free relation, at a bounded retry overhead.
+   Results go to stdout and BENCH_fetch.json. *)
+
+let fetch_scenario schema site plan ~window ~fault_rate =
+  let http = Websim.Http.connect site in
+  let netmodel =
+    Websim.Netmodel.create (Websim.Netmodel.config ~seed:42 ~fault_rate ())
+  in
+  let fetcher =
+    Websim.Fetcher.create
+      ~config:(Websim.Fetcher.config ~window ~retries:3 ())
+      ~netmodel http
+  in
+  Eval.eval_fetched schema fetcher plan
+
+let fetch () =
+  banner "Fetch engine: batched windows and fault resilience (example 7.2)";
+  let uni, schema, _stats = university_setup Sitegen.University.default_config in
+  let site = Sitegen.University.site uni in
+  let plans =
+    [
+      ("pointer-join", literal_join_plan_72 ());
+      ("pointer-chase", literal_chase_plan_72 ());
+    ]
+  in
+  let scenarios =
+    [ ("latency-w1", 1, 0.0); ("latency-w8", 8, 0.0); ("faults10-w8", 8, 0.10) ]
+  in
+  let records =
+    List.concat_map
+      (fun (plan_name, plan) ->
+        let baseline, _, _ = measure_plan schema site plan in
+        let baseline = Adm.Relation.sort_rows baseline in
+        List.map
+          (fun (scenario, window, fault_rate) ->
+            let r = fetch_scenario schema site plan ~window ~fault_rate in
+            let exact = Adm.Relation.equal baseline (Adm.Relation.sort_rows r.Eval.result) in
+            (plan_name, scenario, window, fault_rate, r, exact))
+          scenarios)
+      plans
+  in
+  print_table
+    [ "plan"; "scenario"; "gets"; "attempts"; "retries"; "elapsed ms"; "exact" ]
+    (List.map
+       (fun (plan_name, scenario, _w, _f, (r : Eval.fetch_report), exact) ->
+         [
+           plan_name; scenario;
+           string_of_int r.Eval.stats.Websim.Http.gets;
+           string_of_int r.Eval.net.Websim.Fetcher.attempts;
+           string_of_int r.Eval.net.Websim.Fetcher.retries;
+           f1 r.Eval.net.Websim.Fetcher.elapsed_ms;
+           (if exact then "yes" else "NO");
+         ])
+       records);
+  let elapsed plan_name scenario =
+    List.find_map
+      (fun (p, s, _, _, (r : Eval.fetch_report), _) ->
+        if String.equal p plan_name && String.equal s scenario then
+          Some r.Eval.net.Websim.Fetcher.elapsed_ms
+        else None)
+      records
+    |> Option.get
+  in
+  let speedup =
+    elapsed "pointer-join" "latency-w1" /. elapsed "pointer-join" "latency-w8"
+  in
+  Fmt.pr "@.pointer-join window speedup (w1 / w8): %.1fx@." speedup;
+  let oc = open_out "BENCH_fetch.json" in
+  Printf.fprintf oc "{\n  \"suite\": \"fetch\",\n  \"results\": [\n";
+  List.iteri
+    (fun i (plan_name, scenario, window, fault_rate, (r : Eval.fetch_report), exact) ->
+      Printf.fprintf oc
+        "    { \"plan\": %S, \"scenario\": %S, \"window\": %d, \"fault_rate\": %.2f, \
+         \"gets\": %d, \"attempts\": %d, \"retries\": %d, \"rows\": %d, \
+         \"exact\": %b, \"elapsed_ms\": %.1f }%s\n"
+        plan_name scenario window fault_rate r.Eval.stats.Websim.Http.gets
+        r.Eval.net.Websim.Fetcher.attempts r.Eval.net.Websim.Fetcher.retries
+        (Adm.Relation.cardinality r.Eval.result)
+        exact r.Eval.net.Websim.Fetcher.elapsed_ms
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  Printf.fprintf oc "  ],\n  \"join_speedup_w1_over_w8\": %.2f\n}\n" speedup;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_fetch.json (%d entries)@." (List.length records)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -803,13 +896,14 @@ let () =
   | [] | [ "all" ] -> run_all ()
   | [ "timings" ] -> timings ()
   | [ "kernel" ] -> kernel ()
+  | [ "fetch" ] -> fetch ()
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
         | Some f -> f ()
         | None ->
-          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel)@." name
+          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel, fetch)@." name
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names

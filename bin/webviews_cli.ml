@@ -6,6 +6,8 @@
      webviews crawl    [--site ...]
      webviews plan     [--site ...] [--candidates N] [--cap N] "SELECT ..."
      webviews query    [--site ...] [--cap N] "SELECT ..."
+     webviews run      [--site ...] [--faults R] [--latency] [--window N]
+                       [--retries N] "SELECT ..."
      webviews matview  [--site ...] "SELECT ..."
      webviews check    [--site ...] [--cap N] ["SELECT ..." ...]  *)
 
@@ -191,6 +193,68 @@ let query_cmd =
               with_site (run cap sql) site depts profs courses seed)
           $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg $ sql_arg)
 
+let run_cmd =
+  let run faults latency window retries net_seed cap sql loaded =
+    let stats = stats_of loaded in
+    let http = Websim.Http.connect loaded.site in
+    let netmodel =
+      if faults > 0.0 || latency then
+        Some
+          (Websim.Netmodel.create
+             (Websim.Netmodel.config ~seed:net_seed ~fault_rate:faults ()))
+      else None
+    in
+    let config = Websim.Fetcher.config ~window ~retries () in
+    let fetcher = Websim.Fetcher.create ~config ?netmodel http in
+    let outcome = Planner.plan_sql ?cap loaded.schema stats loaded.registry sql in
+    let best = outcome.Planner.best.Planner.expr in
+    Fmt.pr "plan (cost %.2f, predicted %.0f ms at window %d):@.%a@.@."
+      outcome.Planner.best.Planner.cost
+      (Cost.elapsed_estimate ~window loaded.schema stats best)
+      window Nalg.pp_plan best;
+    let report = Eval.eval_fetched loaded.schema fetcher best in
+    Fmt.pr "%a@.@." Adm.Relation.pp (Planner.rename_output outcome report.Eval.result);
+    Fmt.pr "%a@." Explain.pp_fetch_report report
+  in
+  let faults_arg =
+    Arg.(value & opt float 0.0 & info [ "faults" ] ~docv:"RATE"
+           ~doc:"Transient-failure probability per URL (0.0–1.0) of the \
+                 simulated network; failures are retried with backoff.")
+  in
+  let latency_arg =
+    Arg.(value & flag & info [ "latency" ]
+           ~doc:"Simulate per-request latency even with no faults, so the \
+                 elapsed-time report is meaningful.")
+  in
+  let window_arg =
+    Arg.(value & opt int 8 & info [ "window" ] ~docv:"N"
+           ~doc:"In-flight width of a navigation's fetch batch; 1 fetches \
+                 sequentially.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+           ~doc:"Extra attempts after a failed exchange.")
+  in
+  let net_seed_arg =
+    Arg.(value & opt int 42 & info [ "net-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the network model; every fault and latency draw \
+                 replays deterministically from it.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Plan and execute a query through the resilient fetch engine: \
+          batched fetch windows, retries with backoff, circuit breaker and \
+          page cache, optionally over a simulated faulty network. Reports \
+          both cost ledgers (page accesses and fetch-engine counters) and \
+          the simulated elapsed time.")
+    Term.(const (fun site depts profs courses seed faults latency window retries
+                     net_seed cap sql ->
+              with_site (run faults latency window retries net_seed cap sql)
+                site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ faults_arg
+          $ latency_arg $ window_arg $ retries_arg $ net_seed_arg $ cap_arg $ sql_arg)
+
 let matview_cmd =
   let run sql loaded =
     let stats = stats_of loaded in
@@ -319,8 +383,8 @@ let main_cmd =
   let doc = "Efficient queries over web views (EDBT 1998 reproduction)" in
   Cmd.group (Cmd.info "webviews" ~doc)
     [
-      scheme_cmd; crawl_cmd; plan_cmd; query_cmd; matview_cmd; navigations_cmd;
-      discover_cmd; check_cmd;
+      scheme_cmd; crawl_cmd; plan_cmd; query_cmd; run_cmd; matview_cmd;
+      navigations_cmd; discover_cmd; check_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

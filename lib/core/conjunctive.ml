@@ -75,25 +75,25 @@ let to_algebra q : Nalg.expr =
       List.fold_left
         (fun (acc, in_scope, pending) src ->
           let in_scope' = src.alias :: in_scope in
-          let usable, pending' =
-            List.partition
+          (* one typed pass: an attr=attr atom whose far side is
+             already in scope becomes a key oriented (in-scope side,
+             src side); every other shape stays pending. Classifying
+             and orienting together leaves no unreachable branch. *)
+          let keys, pending' =
+            List.partition_map
               (fun (a : Pred.atom) ->
                 match a.Pred.left, a.Pred.right with
-                | Pred.Attr x, Pred.Attr y ->
-                  let ax = alias_of_attr x and ay = alias_of_attr y in
-                  (List.mem ax in_scope && String.equal ay src.alias)
-                  || (List.mem ay in_scope && String.equal ax src.alias)
-                | _ -> false)
+                | Pred.Attr x, Pred.Attr y
+                  when List.mem (alias_of_attr x) in_scope
+                       && String.equal (alias_of_attr y) src.alias ->
+                  Either.Left (x, y)
+                | Pred.Attr x, Pred.Attr y
+                  when List.mem (alias_of_attr y) in_scope
+                       && String.equal (alias_of_attr x) src.alias ->
+                  Either.Left (y, x)
+                | (Pred.Attr _ | Pred.Const _), (Pred.Attr _ | Pred.Const _) ->
+                  Either.Right a)
               pending
-          in
-          let keys =
-            List.map
-              (fun (a : Pred.atom) ->
-                match a.Pred.left, a.Pred.right with
-                | Pred.Attr x, Pred.Attr y ->
-                  if String.equal (alias_of_attr y) src.alias then (x, y) else (y, x)
-                | _ -> assert false)
-              usable
           in
           let right = Nalg.external_ ~alias:src.alias src.rel in
           (Nalg.join keys acc right, in_scope', pending'))

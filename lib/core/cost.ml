@@ -136,3 +136,28 @@ let rec byte_estimate (schema : Adm.Schema.t) (stats : Stats.t) (root : Nalg.exp
     byte_estimate schema stats root src +. (navigations *. Stats.page_bytes stats scheme)
 
 let byte_cost schema stats e = byte_estimate schema stats e e
+
+(* Predicted simulated elapsed time (milliseconds) under the batched
+   fetch engine: a navigation submits its URL set as one batch whose
+   latencies overlap under the in-flight window, so a Follow costs
+   ceil(navigations / window) sequential rounds of the per-page
+   latency instead of one round per page. Local operators stay free;
+   only the network dimension changes versus the page-access model. *)
+let rec elapsed_aux (schema : Adm.Schema.t) (stats : Stats.t) (root : Nalg.expr)
+    ~window ~get_ms (e : Nalg.expr) : float =
+  let rounds n = Float.of_int (int_of_float (Float.ceil (n /. float_of_int (max 1 window)))) in
+  match e with
+  | Nalg.External _ -> infinity
+  | Nalg.Entry _ -> get_ms
+  | Nalg.Select (_, e1) | Nalg.Project (_, e1) | Nalg.Unnest (e1, _) ->
+    elapsed_aux schema stats root ~window ~get_ms e1
+  | Nalg.Join (_, e1, e2) ->
+    elapsed_aux schema stats root ~window ~get_ms e1
+    +. elapsed_aux schema stats root ~window ~get_ms e2
+  | Nalg.Follow { src; link; scheme = _; alias = _ } ->
+    let { card; _ } = estimate schema stats root src in
+    let navigations = distinct_in stats root link card in
+    elapsed_aux schema stats root ~window ~get_ms src +. (rounds navigations *. get_ms)
+
+let elapsed_estimate ?(window = 1) ?(get_ms = 40.0) schema stats e =
+  elapsed_aux schema stats e ~window ~get_ms e

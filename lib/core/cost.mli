@@ -24,6 +24,14 @@ val byte_cost : Adm.Schema.t -> Stats.t -> Nalg.expr -> float
     (page accesses weighted by average page size per scheme).
     Distinguishes plans that tie on page count. *)
 
+val elapsed_estimate :
+  ?window:int -> ?get_ms:float -> Adm.Schema.t -> Stats.t -> Nalg.expr -> float
+(** Predicted simulated elapsed milliseconds under the batched fetch
+    engine: a Follow costs [ceil(navigations / window)] sequential
+    rounds of the per-page latency [get_ms] (default: the network
+    model's default 40ms round-trip) instead of one round per page.
+    With [window = 1] (default) this is [get_ms * page-access cost]. *)
+
 val distinct_of : Stats.t -> Nalg.expr -> string -> int option
 (** c_A for an attribute of the plan, resolved through its alias. *)
 

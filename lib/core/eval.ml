@@ -12,37 +12,47 @@ exception Not_computable of string
 type source = {
   fetch : scheme:string -> url:string -> Adm.Value.tuple option;
       (* the page tuple for a URL, or None when the page is gone *)
+  prefetch : string list -> unit;
+      (* batch hint: a navigation is about to fetch these URLs *)
   describe : string;
 }
 
+(* A source over the resilient fetch engine: pages are downloaded
+   through its cache, retries and circuit breaker, and a navigation's
+   URL set is submitted as one batch whose simulated latencies overlap
+   under the fetcher's window. *)
+let fetcher_source (schema : Adm.Schema.t) (fetcher : Websim.Fetcher.t) =
+  let fetch ~scheme ~url =
+    match Websim.Fetcher.get fetcher url with
+    | Websim.Fetcher.Fetched page ->
+      let ps = Adm.Schema.find_scheme_exn schema scheme in
+      Some (Websim.Wrapper.extract ps ~url page.Websim.Fetcher.body)
+    | Websim.Fetcher.Absent | Websim.Fetcher.Unreachable -> None
+  in
+  {
+    fetch;
+    prefetch = (fun urls -> Websim.Fetcher.prefetch fetcher urls);
+    describe = "fetcher";
+  }
+
 (* A live source downloads pages with GET and wraps them. With
    [cache] (default), each URL is downloaded at most once per source
-   — the cost model counts *distinct* network accesses. *)
+   — the cost model counts *distinct* network accesses. The bounded
+   LRU of the fetch engine replaces the old unbounded per-source
+   table; over the perfect network the traffic is identical. *)
 let live_source ?(cache = true) (schema : Adm.Schema.t) (http : Websim.Http.t) =
-  let table : (string, Adm.Value.tuple option) Hashtbl.t = Hashtbl.create 64 in
-  let fetch ~scheme ~url =
-    let download () =
-      match Websim.Http.get http url with
-      | None -> None
-      | Some (body, _date) ->
-        let ps = Adm.Schema.find_scheme_exn schema scheme in
-        Some (Websim.Wrapper.extract ps ~url body)
-    in
-    if cache then
-      match Hashtbl.find_opt table url with
-      | Some cached -> cached
-      | None ->
-        let result = download () in
-        Hashtbl.add table url result;
-        result
-    else download ()
+  let config =
+    if cache then Websim.Fetcher.default_config
+    else Websim.Fetcher.config ~cache_capacity:0 ()
   in
-  { fetch; describe = (if cache then "live" else "live/nocache") }
+  let source = fetcher_source schema (Websim.Fetcher.create ~config http) in
+  { source with describe = (if cache then "live" else "live/nocache") }
 
 (* A source reading a crawled instance (no network): used in tests. *)
 let instance_source (instance : Websim.Crawler.instance) =
   {
     fetch = (fun ~scheme ~url -> Websim.Crawler.tuple_of_url instance ~scheme ~url);
+    prefetch = ignore;
     describe = "instance";
   }
 
@@ -87,6 +97,7 @@ let pages_relation schema source ~scheme ~alias urls =
     go 0 names tuple;
     row
   in
+  source.prefetch urls;
   let rows =
     List.filter_map
       (fun url -> Option.map row_of_tuple (source.fetch ~scheme ~url))
@@ -143,3 +154,25 @@ let eval_counted schema http source e =
   let result = eval schema source e in
   let after = Websim.Http.snapshot http in
   (result, Websim.Http.diff ~before ~after)
+
+(* Evaluate through the fetch engine and report both cost ledgers:
+   the paper's page-access stats and the runtime's counters (attempts,
+   retries, cache traffic, simulated elapsed time). *)
+type fetch_report = {
+  result : Adm.Relation.t;
+  stats : Websim.Http.stats; (* network accesses, as a delta *)
+  net : Websim.Fetcher.counters; (* fetch-engine work, as a delta *)
+}
+
+let eval_fetched schema (fetcher : Websim.Fetcher.t) e =
+  let http = Websim.Fetcher.http fetcher in
+  let before = Websim.Http.snapshot http in
+  let net_before = Websim.Fetcher.counters_snapshot (Websim.Fetcher.counters fetcher) in
+  let result = eval schema (fetcher_source schema fetcher) e in
+  let after = Websim.Http.snapshot http in
+  let net_after = Websim.Fetcher.counters_snapshot (Websim.Fetcher.counters fetcher) in
+  {
+    result;
+    stats = Websim.Http.diff ~before ~after;
+    net = Websim.Fetcher.counters_diff ~before:net_before ~after:net_after;
+  }

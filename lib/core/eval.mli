@@ -8,13 +8,21 @@ exception Not_computable of string
 type source = {
   fetch : scheme:string -> url:string -> Adm.Value.tuple option;
       (** the page tuple for a URL, or [None] when the page is gone *)
+  prefetch : string list -> unit;
+      (** batch hint: a navigation is about to fetch these URLs *)
   describe : string;
 }
+
+val fetcher_source : Adm.Schema.t -> Websim.Fetcher.t -> source
+(** Pages through the resilient fetch engine: cache, retries, circuit
+    breaker, and per-navigation batches whose simulated latencies
+    overlap under the fetcher's window. *)
 
 val live_source : ?cache:bool -> Adm.Schema.t -> Websim.Http.t -> source
 (** Downloads pages with GET and wraps them. With [cache] (default),
     each URL is downloaded at most once per source — the cost model
-    counts {e distinct} network accesses. *)
+    counts {e distinct} network accesses. Backed by {!fetcher_source}
+    over a perfect-network fetcher. *)
 
 val instance_source : Websim.Crawler.instance -> source
 (** Reads a crawled instance; no network. *)
@@ -33,3 +41,14 @@ val eval_counted :
   Adm.Schema.t -> Websim.Http.t -> source -> Nalg.expr ->
   Adm.Relation.t * Websim.Http.stats
 (** Evaluate and report the network work done. *)
+
+type fetch_report = {
+  result : Adm.Relation.t;
+  stats : Websim.Http.stats;  (** network accesses, as a delta *)
+  net : Websim.Fetcher.counters;  (** fetch-engine work, as a delta *)
+}
+
+val eval_fetched : Adm.Schema.t -> Websim.Fetcher.t -> Nalg.expr -> fetch_report
+(** Evaluate through the fetch engine and report both cost ledgers —
+    page accesses and runtime counters (attempts, retries, cache
+    traffic, simulated elapsed milliseconds). *)

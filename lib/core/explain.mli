@@ -32,3 +32,8 @@ val best_of_strategy : Planner.outcome -> strategy -> Planner.plan option
 
 val pp_outcome : Planner.outcome Fmt.t
 val pp_candidates : Planner.outcome Fmt.t
+
+val pp_fetch_report : Eval.fetch_report Fmt.t
+(** Both cost ledgers of an evaluation through the fetch engine —
+    page accesses and runtime fetch counters — plus the simulated
+    elapsed time. *)

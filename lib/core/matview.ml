@@ -27,6 +27,10 @@ type counters = {
 type t = {
   schema : Adm.Schema.t;
   http : Websim.Http.t;
+  fetcher : Websim.Fetcher.t;
+      (* all network traffic goes through the fetch engine; the
+         default is a cache-less pass-through, so the store's own
+         HEAD protocol stays the only freshness layer *)
   tables : (string, (string, entry) Hashtbl.t) Hashtbl.t; (* scheme -> url -> entry *)
   status : (string, status) Hashtbl.t; (* url -> per-query flag *)
   mutable check_missing : (string * string) list; (* (url, scheme) *)
@@ -67,11 +71,19 @@ let check_missing_backlog t = List.length t.check_missing
 
 (* Materialize the whole site: navigate it once, wrap the pages, and
    store them as nested tuples with their access date. *)
-let materialize (schema : Adm.Schema.t) (http : Websim.Http.t) : t =
+let materialize ?fetcher (schema : Adm.Schema.t) (http : Websim.Http.t) : t =
+  let fetcher =
+    match fetcher with
+    | Some f -> f
+    | None ->
+      Websim.Fetcher.create ~config:(Websim.Fetcher.config ~cache_capacity:0 ()) http
+  in
+  let http = Websim.Fetcher.http fetcher in
   let t =
     {
       schema;
       http;
+      fetcher;
       tables = Hashtbl.create 16;
       status = Hashtbl.create 256;
       check_missing = [];
@@ -81,7 +93,7 @@ let materialize (schema : Adm.Schema.t) (http : Websim.Http.t) : t =
     }
   in
   let now = Websim.Site.clock (Websim.Http.site http) in
-  let instance = Websim.Crawler.crawl schema http in
+  let instance = Websim.Crawler.crawl_via fetcher schema in
   List.iter
     (fun (scheme, rel) ->
       let tbl = table t scheme in
@@ -126,10 +138,16 @@ let diff_outlinks t ps ~old_tuple ~new_tuple =
       end)
     old_links
 
+let fetcher t = t.fetcher
+
 let download t ~scheme ~url =
-  match Websim.Http.get t.http url with
-  | None -> None
-  | Some (body, _last_modified) ->
+  match Websim.Fetcher.get t.fetcher url with
+  | Websim.Fetcher.Absent -> None
+  | Websim.Fetcher.Unreachable ->
+    (* transport down after retries: serve the stored tuple, stale,
+       rather than drop the row — the page is not known to be gone *)
+    stored_tuple t ~scheme ~url
+  | Websim.Fetcher.Fetched { Websim.Fetcher.body; last_modified = _ } ->
     t.counters.downloads <- t.counters.downloads + 1;
     let ps = Adm.Schema.find_scheme_exn t.schema scheme in
     let tuple = Websim.Wrapper.extract ps ~url body in
@@ -173,15 +191,20 @@ let url_check t ~scheme ~url =
       Some entry.tuple
     | Some entry -> (
       t.counters.light_connections <- t.counters.light_connections + 1;
-      match Websim.Http.head t.http url with
-      | None ->
+      match Websim.Fetcher.head t.fetcher url with
+      | Websim.Fetcher.Absent ->
         (* page deleted on the site *)
         Hashtbl.remove (table t scheme) url;
         set_status t url Missing;
         t.counters.missing_pages <- t.counters.missing_pages + 1;
         t.check_missing <- (url, scheme) :: t.check_missing;
         None
-      | Some last_modified ->
+      | Websim.Fetcher.Unreachable ->
+        (* could not even ask: serve the stored tuple, stale *)
+        t.counters.local_hits <- t.counters.local_hits + 1;
+        set_status t url Checked;
+        Some entry.tuple
+      | Websim.Fetcher.Fetched last_modified ->
         if entry.access_date < last_modified then begin
           let result = download t ~scheme ~url in
           set_status t url Checked;
@@ -197,7 +220,11 @@ let url_check t ~scheme ~url =
    evaluation loop is the shared evaluator running over this source,
    with URLCheck applied before each tuple is used. *)
 let source t : Eval.source =
-  { Eval.fetch = (fun ~scheme ~url -> url_check t ~scheme ~url); describe = "materialized" }
+  {
+    Eval.fetch = (fun ~scheme ~url -> url_check t ~scheme ~url);
+    prefetch = ignore (* URLCheck is per-tuple: HEADs, not page batches *);
+    describe = "materialized";
+  }
 
 (* Evaluate a plan over the materialized view. Status flags are valid
    for the duration of one query (Algorithm 3 initializes all flags
@@ -230,17 +257,27 @@ let query_counted ?max_age t plan =
 (* Off-line processing of CheckMissing: URLs whose page is actually
    gone are purged from the store; the others were false alarms
    (pages still exist, merely no longer linked from where we looked). *)
-let offline_sweep t =
+let offline_sweep ?via t =
+  let fetcher = Option.value via ~default:t.fetcher in
   let deleted = ref 0 in
-  List.iter
-    (fun (url, scheme) ->
-      match Websim.Http.head t.http url with
-      | None ->
-        Hashtbl.remove (table t scheme) url;
-        incr deleted
-      | Some _ -> ())
-    t.check_missing;
-  t.check_missing <- [];
+  let backlog =
+    List.filter
+      (fun (url, scheme) ->
+        match Websim.Fetcher.head fetcher url with
+        | Websim.Fetcher.Absent ->
+          Hashtbl.remove (table t scheme) url;
+          incr deleted;
+          false
+        | Websim.Fetcher.Fetched _ ->
+          (* false alarm: still exists, merely unlinked where we looked *)
+          false
+        | Websim.Fetcher.Unreachable ->
+          (* can't tell gone from down: keep for the next sweep instead
+             of purging a page that may only be transiently missing *)
+          true)
+      t.check_missing
+  in
+  t.check_missing <- backlog;
   !deleted
 
 (* Full consistency pass: recrawl the site and replace the store
@@ -250,7 +287,7 @@ let full_refresh t =
   Hashtbl.reset t.status;
   t.check_missing <- [];
   let now = Websim.Site.clock (Websim.Http.site t.http) in
-  let instance = Websim.Crawler.crawl t.schema t.http in
+  let instance = Websim.Crawler.crawl_via t.fetcher t.schema in
   List.iter
     (fun (scheme, rel) ->
       let tbl = table t scheme in

@@ -19,9 +19,17 @@ type counters = {
 
 type t
 
-val materialize : Adm.Schema.t -> Websim.Http.t -> t
-(** Navigate the whole site once and store every page tuple. *)
+val materialize : ?fetcher:Websim.Fetcher.t -> Adm.Schema.t -> Websim.Http.t -> t
+(** Navigate the whole site once and store every page tuple. All
+    network traffic goes through [fetcher] (default: a cache-less
+    pass-through over [http] — the store's own HEAD protocol is the
+    only freshness layer). Pass a fetcher layered on a {!Websim.Netmodel}
+    to run the store over a faulty network: transient failures are
+    retried, and when retries are exhausted the store serves its stale
+    tuple instead of dropping the row, defers purging, and keeps
+    unreachable pages in the CheckMissing backlog. *)
 
+val fetcher : t -> Websim.Fetcher.t
 val counters : t -> counters
 val reset_counters : t -> unit
 val stored_tuple : t -> scheme:string -> url:string -> Adm.Value.tuple option
@@ -53,9 +61,12 @@ type query_report = {
 
 val query_counted : ?max_age:int -> t -> Nalg.expr -> query_report
 
-val offline_sweep : t -> int
+val offline_sweep : ?via:Websim.Fetcher.t -> t -> int
 (** Process CheckMissing off-line; returns the number of pages that
-    were actually gone and got purged. *)
+    were actually gone and got purged. Pages the [via] fetcher
+    (default: the store's own) reports [Unreachable] cannot be told
+    gone from down: they are kept in the backlog for the next sweep
+    instead of being purged. *)
 
 val full_refresh : t -> unit
 (** Recrawl the site and replace the store (the paper's periodic

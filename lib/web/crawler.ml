@@ -51,7 +51,11 @@ let outlinks (ps : Adm.Page_scheme.t) (tuple : Adm.Value.tuple) =
     (fun (steps, target) -> List.map (fun u -> (u, target)) (collect steps tuple))
     (Adm.Page_scheme.link_paths ps)
 
-let crawl (schema : Adm.Schema.t) (http : Http.t) =
+(* Crawl through a fetch engine, so a crawl over a faulty network
+   retries transient failures instead of dropping pages. Over the
+   perfect network the fetcher is a pass-through and the traffic is
+   identical to direct [Http.get]s. *)
+let crawl_via (fetcher : Fetcher.t) (schema : Adm.Schema.t) =
   let visited : (string, unit) Hashtbl.t = Hashtbl.create 256 in
   let scheme_of_url : (string, string) Hashtbl.t = Hashtbl.create 256 in
   let bytes_of_url : (string, int) Hashtbl.t = Hashtbl.create 256 in
@@ -71,9 +75,10 @@ let crawl (schema : Adm.Schema.t) (http : Http.t) =
     let url, scheme_name = Queue.pop queue in
     if not (Hashtbl.mem visited url) then begin
       Hashtbl.replace visited url ();
-      match Http.get http url with
-      | None -> () (* dangling link: tolerated, recorded by Http stats *)
-      | Some (body, _date) ->
+      match Fetcher.get fetcher url with
+      | Fetcher.Absent | Fetcher.Unreachable ->
+        () (* dangling or unreachable: tolerated, recorded in the stats *)
+      | Fetcher.Fetched { Fetcher.body; last_modified = _ } ->
         incr fetched;
         let ps = Adm.Schema.find_scheme_exn schema scheme_name in
         let tuple = Wrapper.extract ps ~url body in
@@ -98,6 +103,11 @@ let crawl (schema : Adm.Schema.t) (http : Http.t) =
       (Adm.Schema.schemes schema)
   in
   { relations; scheme_of_url; bytes_of_url; fetched = !fetched }
+
+(* The classic entry point: a pass-through fetcher (no faults, no
+   cache), exactly one GET per reachable page. *)
+let crawl (schema : Adm.Schema.t) (http : Http.t) =
+  crawl_via (Fetcher.create ~config:(Fetcher.config ~cache_capacity:0 ()) http) schema
 
 (* Average page size (bytes) per page-scheme, for byte-based costs. *)
 let avg_bytes_per_scheme instance =

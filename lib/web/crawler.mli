@@ -16,6 +16,11 @@ val outlinks : Adm.Page_scheme.t -> Adm.Value.tuple -> (string * string) list
 (** Outgoing links of a page tuple as (URL, target page-scheme). *)
 
 val crawl : Adm.Schema.t -> Http.t -> instance
+(** Crawl over the perfect network: one GET per reachable page. *)
+
+val crawl_via : Fetcher.t -> Adm.Schema.t -> instance
+(** Crawl through a fetch engine: over a faulty network, transient
+    failures are retried instead of dropping pages. *)
 
 val avg_bytes_per_scheme : instance -> (string * float) list
 (** Average page size per page-scheme, for byte-based cost models. *)

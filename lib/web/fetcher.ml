@@ -1,0 +1,493 @@
+(* The resilient fetch engine: every page access of the evaluator, the
+   crawler and the materialized store goes through here. Over the
+   perfect transport it is a strict pass-through — same GETs, same
+   HEADs, same bytes, in the same order — but layered on a {!Netmodel}
+   it adds what querying the live web needs:
+
+   - batched fetch windows: a navigation submits all distinct link
+     URLs as one batch whose simulated latencies overlap under a
+     bounded in-flight width, so pointer-join and pointer-chase plans
+     now also differ in simulated wall-clock time, not just page count;
+   - request deduplication/coalescing within a batch;
+   - retry with exponential backoff and deterministic jitter;
+   - a per-site circuit breaker that fails fast during an outage;
+   - a bounded LRU page cache with optional HEAD-based revalidation,
+     replacing the evaluator's old unbounded per-source cache.
+
+   Every decision is driven by the seeded model, so runs replay
+   exactly; structured counters expose the work done. *)
+
+type page = { body : string; last_modified : int }
+
+type 'a fetched =
+  | Fetched of 'a
+  | Absent (* definitive 404 *)
+  | Unreachable (* retries exhausted or circuit open *)
+
+type config = {
+  window : int; (* in-flight width of a batch; 1 = sequential *)
+  retries : int; (* extra attempts after the first *)
+  backoff_ms : float; (* first retry delay *)
+  backoff_factor : float; (* delay multiplier per further retry *)
+  backoff_jitter : float; (* delay noise, fraction of the delay *)
+  breaker_threshold : int; (* consecutive dead requests to trip; 0 = off *)
+  breaker_cooldown_ms : float; (* open-state duration before a probe *)
+  cache_capacity : int; (* LRU entries; 0 = no cache *)
+  revalidate_after : int option;
+      (* cached entries older than this many site-clock ticks are
+         revalidated with a light connection before reuse;
+         None = a cached page is trusted for the fetcher's lifetime *)
+}
+
+let config ?(window = 8) ?(retries = 3) ?(backoff_ms = 50.0) ?(backoff_factor = 2.0)
+    ?(backoff_jitter = 0.25) ?(breaker_threshold = 8) ?(breaker_cooldown_ms = 5000.0)
+    ?(cache_capacity = 1024) ?revalidate_after () =
+  {
+    window = max 1 window;
+    retries = max 0 retries;
+    backoff_ms;
+    backoff_factor;
+    backoff_jitter;
+    breaker_threshold;
+    breaker_cooldown_ms;
+    cache_capacity = max 0 cache_capacity;
+    revalidate_after;
+  }
+
+let default_config = config ()
+
+type counters = {
+  mutable requests : int; (* logical get/head calls *)
+  mutable attempts : int; (* exchanges tried on the wire *)
+  mutable retries : int; (* attempts beyond the first *)
+  mutable failures : int; (* attempts that died (5xx/timeout/truncated) *)
+  mutable gave_up : int; (* requests that exhausted their retries *)
+  mutable breaker_trips : int;
+  mutable breaker_fastfails : int; (* requests rejected while open *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
+  mutable revalidations : int; (* cache hits confirmed by a HEAD *)
+  mutable batches : int;
+  mutable coalesced : int; (* duplicate URLs removed from batches *)
+  mutable elapsed_ms : float; (* simulated wall-clock spent fetching *)
+}
+
+let fresh_counters () =
+  {
+    requests = 0;
+    attempts = 0;
+    retries = 0;
+    failures = 0;
+    gave_up = 0;
+    breaker_trips = 0;
+    breaker_fastfails = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+    revalidations = 0;
+    batches = 0;
+    coalesced = 0;
+    elapsed_ms = 0.0;
+  }
+
+let counters_snapshot (c : counters) =
+  { c with requests = c.requests } (* copy of a mutable record *)
+
+let counters_diff ~(before : counters) ~(after : counters) =
+  {
+    requests = after.requests - before.requests;
+    attempts = after.attempts - before.attempts;
+    retries = after.retries - before.retries;
+    failures = after.failures - before.failures;
+    gave_up = after.gave_up - before.gave_up;
+    breaker_trips = after.breaker_trips - before.breaker_trips;
+    breaker_fastfails = after.breaker_fastfails - before.breaker_fastfails;
+    cache_hits = after.cache_hits - before.cache_hits;
+    cache_misses = after.cache_misses - before.cache_misses;
+    cache_evictions = after.cache_evictions - before.cache_evictions;
+    revalidations = after.revalidations - before.revalidations;
+    batches = after.batches - before.batches;
+    coalesced = after.coalesced - before.coalesced;
+    elapsed_ms = after.elapsed_ms -. before.elapsed_ms;
+  }
+
+let pp_counters ppf (c : counters) =
+  Fmt.pf ppf
+    "attempts=%d retries=%d failures=%d gave_up=%d cache=%d/%d (evict %d, reval %d) \
+     batches=%d coalesced=%d breaker=%d trips (%d fastfails) elapsed=%.1fms"
+    c.attempts c.retries c.failures c.gave_up c.cache_hits
+    (c.cache_hits + c.cache_misses)
+    c.cache_evictions c.revalidations c.batches c.coalesced c.breaker_trips
+    c.breaker_fastfails c.elapsed_ms
+
+(* ------------------------------------------------------------------ *)
+(* Bounded LRU page cache                                              *)
+(* ------------------------------------------------------------------ *)
+
+type entry = Live of page | Gone (* negative entries cache 404s too *)
+
+type node = {
+  n_url : string;
+  mutable entry : entry;
+  mutable stored_at : int; (* site clock at store/validation time *)
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type cache = {
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+}
+
+let cache_create capacity = { capacity; table = Hashtbl.create 64; mru = None; lru = None }
+
+let cache_unlink c n =
+  (match n.prev with Some p -> p.next <- n.next | None -> c.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> c.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let cache_push_front c n =
+  n.prev <- None;
+  n.next <- c.mru;
+  (match c.mru with Some f -> f.prev <- Some n | None -> c.lru <- Some n);
+  c.mru <- Some n
+
+let cache_touch c n =
+  cache_unlink c n;
+  cache_push_front c n
+
+(* ------------------------------------------------------------------ *)
+(* The fetcher                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type breaker_state = Closed | Open_until of float | Half_open
+
+type t = {
+  http : Http.t;
+  net : Netmodel.t option; (* None = the perfect network *)
+  cfg : config;
+  counters : counters;
+  cache : cache;
+  mutable breaker : breaker_state;
+  mutable consecutive_dead : int; (* dead requests since last success *)
+}
+
+let create ?(config = default_config) ?netmodel http =
+  {
+    http;
+    net = netmodel;
+    cfg = config;
+    counters = fresh_counters ();
+    cache = cache_create config.cache_capacity;
+    breaker = Closed;
+    consecutive_dead = 0;
+  }
+
+let http t = t.http
+let netmodel t = t.net
+let fetcher_config t = t.cfg
+let counters t = t.counters
+let caching t = t.cfg.cache_capacity > 0
+let elapsed_ms t = t.counters.elapsed_ms
+let now_ms t = match t.net with Some nm -> Netmodel.now_ms nm | None -> 0.0
+let site_clock t = Site.clock (Http.site t.http)
+
+let reset_counters t =
+  let z = fresh_counters () in
+  t.counters.requests <- z.requests;
+  t.counters.attempts <- z.attempts;
+  t.counters.retries <- z.retries;
+  t.counters.failures <- z.failures;
+  t.counters.gave_up <- z.gave_up;
+  t.counters.breaker_trips <- z.breaker_trips;
+  t.counters.breaker_fastfails <- z.breaker_fastfails;
+  t.counters.cache_hits <- z.cache_hits;
+  t.counters.cache_misses <- z.cache_misses;
+  t.counters.cache_evictions <- z.cache_evictions;
+  t.counters.revalidations <- z.revalidations;
+  t.counters.batches <- z.batches;
+  t.counters.coalesced <- z.coalesced;
+  t.counters.elapsed_ms <- z.elapsed_ms
+
+(* ---- retry loop (pure in simulated time: returns its duration) ---- *)
+
+let backoff_delay t nm ~url ~attempt =
+  let base = t.cfg.backoff_ms *. (t.cfg.backoff_factor ** float_of_int (attempt - 1)) in
+  let u = Netmodel.uniform nm ~salt:"backoff" ~url ~attempt in
+  base *. (1.0 +. (t.cfg.backoff_jitter *. ((2.0 *. u) -. 1.0)))
+
+(* One full GET request: attempts + retries, without cache or breaker.
+   Returns the result and the simulated duration (latencies, penalties
+   and backoff waits). Over the perfect network this is exactly one
+   [Http.get]. *)
+let run_get t url : page fetched * float =
+  match t.net with
+  | None -> (
+    t.counters.attempts <- t.counters.attempts + 1;
+    match Http.get t.http url with
+    | Some (body, last_modified) -> (Fetched { body; last_modified }, 0.0)
+    | None -> (Absent, 0.0))
+  | Some nm ->
+    let rec go attempt dur =
+      t.counters.attempts <- t.counters.attempts + 1;
+      if attempt > 1 then t.counters.retries <- t.counters.retries + 1;
+      let fail outcome dur =
+        Http.record_failed t.http;
+        t.counters.failures <- t.counters.failures + 1;
+        if attempt > t.cfg.retries then begin
+          t.counters.gave_up <- t.counters.gave_up + 1;
+          (Unreachable, dur)
+        end
+        else begin
+          ignore outcome;
+          go (attempt + 1) (dur +. backoff_delay t nm ~url ~attempt)
+        end
+      in
+      match Netmodel.fault nm ~url ~attempt with
+      | Netmodel.Ok_response -> (
+        match Http.get t.http url with
+        | Some (body, last_modified) ->
+          let lat =
+            Netmodel.latency_ms nm ~kind:`Get ~url ~attempt ~bytes:(String.length body)
+          in
+          (Fetched { body; last_modified }, dur +. lat)
+        | None -> (Absent, dur +. Netmodel.latency_ms nm ~kind:`Get ~url ~attempt ~bytes:0))
+      | Netmodel.Truncated keep as o -> (
+        (* the server answered but the transfer broke off: the partial
+           bytes crossed the wire and are charged, then we retry *)
+        match Http.get_partial t.http url ~keep with
+        | None -> (Absent, dur +. Netmodel.latency_ms nm ~kind:`Get ~url ~attempt ~bytes:0)
+        | Some (partial, _) ->
+          let lat =
+            Netmodel.latency_ms nm ~kind:`Get ~url ~attempt ~bytes:(String.length partial)
+          in
+          fail o (dur +. lat))
+      | (Netmodel.Server_error _ | Netmodel.Timed_out) as o ->
+        fail o (dur +. Netmodel.penalty_ms nm ~url ~attempt o)
+    in
+    go 1 0.0
+
+let run_head t url : int fetched * float =
+  match t.net with
+  | None -> (
+    t.counters.attempts <- t.counters.attempts + 1;
+    match Http.head t.http url with
+    | Some lm -> (Fetched lm, 0.0)
+    | None -> (Absent, 0.0))
+  | Some nm ->
+    let rec go attempt dur =
+      t.counters.attempts <- t.counters.attempts + 1;
+      if attempt > 1 then t.counters.retries <- t.counters.retries + 1;
+      match Netmodel.fault nm ~url ~attempt with
+      | Netmodel.Ok_response -> (
+        let lat = Netmodel.latency_ms nm ~kind:`Head ~url ~attempt ~bytes:0 in
+        match Http.head t.http url with
+        | Some lm -> (Fetched lm, dur +. lat)
+        | None -> (Absent, dur +. lat))
+      | (Netmodel.Server_error _ | Netmodel.Timed_out | Netmodel.Truncated _) as o ->
+        (* a header either arrives or it does not: any fault kills it *)
+        Http.record_failed t.http;
+        t.counters.failures <- t.counters.failures + 1;
+        if attempt > t.cfg.retries then begin
+          t.counters.gave_up <- t.counters.gave_up + 1;
+          (Unreachable, dur +. Netmodel.penalty_ms nm ~url ~attempt o)
+        end
+        else
+          go (attempt + 1)
+            (dur +. Netmodel.penalty_ms nm ~url ~attempt o +. backoff_delay t nm ~url ~attempt)
+    in
+    go 1 0.0
+
+(* ---- circuit breaker (one per fetcher = per site) ---- *)
+
+let breaker_allows t =
+  match t.breaker with
+  | Closed | Half_open -> true
+  | Open_until until when now_ms t >= until ->
+    t.breaker <- Half_open; (* cooled down: let one probe through *)
+    true
+  | Open_until _ ->
+    t.counters.breaker_fastfails <- t.counters.breaker_fastfails + 1;
+    false
+
+let breaker_record t ~dead =
+  if not dead then begin
+    t.consecutive_dead <- 0;
+    t.breaker <- Closed
+  end
+  else begin
+    t.consecutive_dead <- t.consecutive_dead + 1;
+    let trip =
+      t.cfg.breaker_threshold > 0
+      && (t.breaker = Half_open || t.consecutive_dead >= t.cfg.breaker_threshold)
+    in
+    if trip then begin
+      t.counters.breaker_trips <- t.counters.breaker_trips + 1;
+      t.breaker <- Open_until (now_ms t +. t.cfg.breaker_cooldown_ms)
+    end
+  end
+
+let breaker_open t = match t.breaker with Open_until _ -> true | Closed | Half_open -> false
+
+(* ---- cache ---- *)
+
+let cache_store t url value =
+  if caching t then begin
+    let c = t.cache in
+    (match Hashtbl.find_opt c.table url with
+    | Some n ->
+      n.entry <- value;
+      n.stored_at <- site_clock t;
+      cache_touch c n
+    | None ->
+      let n =
+        { n_url = url; entry = value; stored_at = site_clock t; prev = None; next = None }
+      in
+      Hashtbl.replace c.table url n;
+      cache_push_front c n);
+    while Hashtbl.length c.table > c.capacity do
+      match c.lru with
+      | None -> Hashtbl.reset c.table (* unreachable: table non-empty *)
+      | Some victim ->
+        cache_unlink c victim;
+        Hashtbl.remove c.table victim.n_url;
+        t.counters.cache_evictions <- t.counters.cache_evictions + 1
+    done
+  end
+
+let entry_result = function Live p -> Fetched p | Gone -> Absent
+
+let spend t ms =
+  (match t.net with Some nm -> Netmodel.advance nm ms | None -> ());
+  t.counters.elapsed_ms <- t.counters.elapsed_ms +. ms
+
+(* A network GET with breaker accounting; advances the clock unless
+   the caller schedules the duration itself (batches). *)
+let network_get ?(advance = true) t url =
+  if not (breaker_allows t) then (Unreachable, 0.0)
+  else begin
+    let result, dur = run_get t url in
+    breaker_record t ~dead:(result = Unreachable);
+    if advance then spend t dur;
+    (result, dur)
+  end
+
+(* Serve [url] from the cache: [None] = not cached (or stale and in
+   need of the full miss path). Revalidation is the materialized-view
+   protocol in miniature: a light connection compares Last-Modified,
+   and only a change forces the re-download. *)
+let cache_lookup t url =
+  if not (caching t) then None
+  else
+    match Hashtbl.find_opt t.cache.table url with
+    | None -> None
+    | Some n -> (
+      cache_touch t.cache n;
+      let stale =
+        match t.cfg.revalidate_after with
+        | Some age -> site_clock t - n.stored_at > age
+        | None -> false
+      in
+      if not stale then begin
+        t.counters.cache_hits <- t.counters.cache_hits + 1;
+        Some (entry_result n.entry)
+      end
+      else
+        let verdict, dur = run_head t url in
+        spend t dur;
+        match verdict, n.entry with
+        | Fetched lm, Live p when lm = p.last_modified ->
+          t.counters.cache_hits <- t.counters.cache_hits + 1;
+          t.counters.revalidations <- t.counters.revalidations + 1;
+          n.stored_at <- site_clock t;
+          Some (Fetched p)
+        | Absent, _ ->
+          (* gone on the site: cache the 404 *)
+          n.entry <- Gone;
+          n.stored_at <- site_clock t;
+          Some Absent
+        | Unreachable, _ ->
+          (* can't confirm: serve the stale copy rather than nothing *)
+          t.counters.cache_hits <- t.counters.cache_hits + 1;
+          Some (entry_result n.entry)
+        | Fetched _, _ -> None (* changed (or reappeared): full miss path *))
+
+(* ------------------------------------------------------------------ *)
+(* Public fetch operations                                             *)
+(* ------------------------------------------------------------------ *)
+
+let get t url : page fetched =
+  t.counters.requests <- t.counters.requests + 1;
+  match cache_lookup t url with
+  | Some r -> r
+  | None ->
+    if caching t then t.counters.cache_misses <- t.counters.cache_misses + 1;
+    let result, _dur = network_get t url in
+    (match result with
+    | Fetched p -> cache_store t url (Live p)
+    | Absent -> cache_store t url Gone
+    | Unreachable -> ());
+    result
+
+let head t url : int fetched =
+  t.counters.requests <- t.counters.requests + 1;
+  if not (breaker_allows t) then Unreachable
+  else begin
+    let result, dur = run_head t url in
+    breaker_record t ~dead:(result = Unreachable);
+    spend t dur;
+    result
+  end
+
+(* Batched fetch: the distinct URLs are submitted together and their
+   simulated latencies overlap under the configured in-flight width —
+   list scheduling onto [window] slots, each request (including its
+   retries and backoff waits) occupying one slot. The batch costs its
+   makespan, not the sum of its latencies. *)
+let get_batch t urls : (string * page fetched) list =
+  let distinct =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun u ->
+        if Hashtbl.mem seen u then false
+        else begin
+          Hashtbl.add seen u ();
+          true
+        end)
+      urls
+  in
+  t.counters.batches <- t.counters.batches + 1;
+  t.counters.coalesced <- t.counters.coalesced + (List.length urls - List.length distinct);
+  let slots = Array.make t.cfg.window 0.0 in
+  let slot_of () =
+    let best = ref 0 in
+    Array.iteri (fun i v -> if v < slots.(!best) then best := i) slots;
+    !best
+  in
+  let results =
+    List.map
+      (fun url ->
+        match cache_lookup t url with
+        | Some r -> (url, r)
+        | None ->
+          if caching t then t.counters.cache_misses <- t.counters.cache_misses + 1;
+          let result, dur = network_get ~advance:false t url in
+          let s = slot_of () in
+          slots.(s) <- slots.(s) +. dur;
+          (match result with
+          | Fetched p -> cache_store t url (Live p)
+          | Absent -> cache_store t url Gone
+          | Unreachable -> ());
+          (url, result))
+      distinct
+  in
+  spend t (Array.fold_left Float.max 0.0 slots);
+  results
+
+(* Warm the cache for an upcoming navigation. A no-op without a cache:
+   prefetching would only duplicate the per-URL fetches. *)
+let prefetch t urls = if caching t && urls <> [] then ignore (get_batch t urls)

@@ -1,0 +1,92 @@
+(** The resilient fetch engine used by the evaluator, the crawler and
+    the materialized store. Over the perfect transport it is a strict
+    pass-through (same GETs/HEADs/bytes, same order); layered on a
+    {!Netmodel} it adds batched fetch windows (latencies of a
+    navigation's URL batch overlap under a bounded in-flight width),
+    request deduplication, retry with exponential backoff and seeded
+    jitter, a per-site circuit breaker, and a bounded LRU page cache
+    with optional HEAD-based revalidation. All decisions replay
+    deterministically from the model's seed. *)
+
+type page = { body : string; last_modified : int }
+
+type 'a fetched =
+  | Fetched of 'a
+  | Absent  (** definitive 404 *)
+  | Unreachable  (** retries exhausted or circuit open *)
+
+type config = {
+  window : int;  (** in-flight width of a batch; 1 = sequential *)
+  retries : int;  (** extra attempts after the first *)
+  backoff_ms : float;  (** first retry delay *)
+  backoff_factor : float;  (** delay multiplier per further retry *)
+  backoff_jitter : float;  (** delay noise, fraction of the delay *)
+  breaker_threshold : int;  (** consecutive dead requests to trip; 0 = off *)
+  breaker_cooldown_ms : float;  (** open-state duration before a probe *)
+  cache_capacity : int;  (** LRU entries; 0 = no cache *)
+  revalidate_after : int option;
+      (** revalidate cached entries older than this many site-clock
+          ticks with a light connection; [None] = trust for life *)
+}
+
+val config :
+  ?window:int -> ?retries:int -> ?backoff_ms:float -> ?backoff_factor:float ->
+  ?backoff_jitter:float -> ?breaker_threshold:int -> ?breaker_cooldown_ms:float ->
+  ?cache_capacity:int -> ?revalidate_after:int -> unit -> config
+
+val default_config : config
+
+type counters = {
+  mutable requests : int;  (** logical get/head calls *)
+  mutable attempts : int;  (** exchanges tried on the wire *)
+  mutable retries : int;  (** attempts beyond the first *)
+  mutable failures : int;  (** attempts that died (5xx/timeout/truncated) *)
+  mutable gave_up : int;  (** requests that exhausted their retries *)
+  mutable breaker_trips : int;
+  mutable breaker_fastfails : int;  (** requests rejected while open *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
+  mutable revalidations : int;  (** cache hits confirmed by a HEAD *)
+  mutable batches : int;
+  mutable coalesced : int;  (** duplicate URLs removed from batches *)
+  mutable elapsed_ms : float;  (** simulated wall-clock spent fetching *)
+}
+
+val counters_snapshot : counters -> counters
+val counters_diff : before:counters -> after:counters -> counters
+val pp_counters : counters Fmt.t
+
+type t
+
+val create : ?config:config -> ?netmodel:Netmodel.t -> Http.t -> t
+(** Without [netmodel], the network is perfect: no latency, no faults,
+    and every operation degenerates to its direct {!Http} call. *)
+
+val http : t -> Http.t
+val netmodel : t -> Netmodel.t option
+val fetcher_config : t -> config
+val counters : t -> counters
+val reset_counters : t -> unit
+val caching : t -> bool
+val elapsed_ms : t -> float
+val now_ms : t -> float
+val breaker_open : t -> bool
+
+val get : t -> string -> page fetched
+(** One page download through cache, breaker and retries; advances the
+    simulated clock by the request's duration. *)
+
+val head : t -> string -> int fetched
+(** One light connection through breaker and retries (never cached). *)
+
+val get_batch : t -> string list -> (string * page fetched) list
+(** Fetch the distinct URLs as one batch: latencies overlap under the
+    configured window (list scheduling; a request occupies one slot
+    including its retries and backoff waits), and the clock advances
+    by the batch makespan. Results are keyed by URL in first-seen
+    order; duplicates are coalesced. *)
+
+val prefetch : t -> string list -> unit
+(** Warm the cache for an upcoming navigation ([get_batch], results
+    dropped). A no-op on a cache-less fetcher. *)

@@ -3,18 +3,36 @@
    (GET) from "light connections" that exchange only an error flag and
    the Last-Modified date (HEAD). Both are counted here, along with
    bytes transferred, so experiments can report every cost the paper
-   discusses. *)
+   discusses.
+
+   [bytes] accrues GET response bodies; a HEAD exchanges only a small
+   fixed header (the error flag and the date), accounted separately in
+   [head_bytes] so GET payload accounting stays comparable across
+   experiments. [failed] counts exchanges that died on the wire —
+   injected by the network runtime (see {!Netmodel}/{!Fetcher}); the
+   perfect transport never fails, so the field stays 0 unless a
+   faulty network is simulated. *)
 
 type stats = {
   mutable gets : int;
   mutable heads : int;
   mutable not_found : int;
-  mutable bytes : int;
+  mutable bytes : int; (* GET payload bytes *)
+  mutable head_bytes : int; (* light-connection header bytes *)
+  mutable failed : int; (* exchanges that failed on the wire *)
 }
+
+(* What a light connection transfers: the error flag and the
+   Last-Modified date. *)
+let head_overhead_bytes = 16
 
 type t = { site : Site.t; stats : stats }
 
-let connect site = { site; stats = { gets = 0; heads = 0; not_found = 0; bytes = 0 } }
+let connect site =
+  {
+    site;
+    stats = { gets = 0; heads = 0; not_found = 0; bytes = 0; head_bytes = 0; failed = 0 };
+  }
 
 let stats t = t.stats
 let site t = t.site
@@ -23,10 +41,19 @@ let reset_stats t =
   t.stats.gets <- 0;
   t.stats.heads <- 0;
   t.stats.not_found <- 0;
-  t.stats.bytes <- 0
+  t.stats.bytes <- 0;
+  t.stats.head_bytes <- 0;
+  t.stats.failed <- 0
 
 let snapshot t =
-  { gets = t.stats.gets; heads = t.stats.heads; not_found = t.stats.not_found; bytes = t.stats.bytes }
+  {
+    gets = t.stats.gets;
+    heads = t.stats.heads;
+    not_found = t.stats.not_found;
+    bytes = t.stats.bytes;
+    head_bytes = t.stats.head_bytes;
+    failed = t.stats.failed;
+  }
 
 let diff ~before ~after =
   {
@@ -34,6 +61,8 @@ let diff ~before ~after =
     heads = after.heads - before.heads;
     not_found = after.not_found - before.not_found;
     bytes = after.bytes - before.bytes;
+    head_bytes = after.head_bytes - before.head_bytes;
+    failed = after.failed - before.failed;
   }
 
 (* Full download: returns the page body and its Last-Modified date. *)
@@ -47,14 +76,37 @@ let get t url =
     t.stats.not_found <- t.stats.not_found + 1;
     None
 
-(* Light connection: only the Last-Modified date (None = 404). *)
+(* A download whose transfer breaks off mid-body (injected by the
+   network runtime): counts as a GET, but only the received prefix
+   crosses the wire and accrues to [bytes]. *)
+let get_partial t url ~keep =
+  t.stats.gets <- t.stats.gets + 1;
+  match Site.find t.site url with
+  | Some page ->
+    let len = String.length page.Site.body in
+    let kept = max 0 (min len (int_of_float (keep *. float_of_int len))) in
+    t.stats.bytes <- t.stats.bytes + kept;
+    Some (String.sub page.Site.body 0 kept, page.Site.last_modified)
+  | None ->
+    t.stats.not_found <- t.stats.not_found + 1;
+    None
+
+(* Light connection: only the Last-Modified date (None = 404). Even a
+   404 exchanges the header. *)
 let head t url =
   t.stats.heads <- t.stats.heads + 1;
+  t.stats.head_bytes <- t.stats.head_bytes + head_overhead_bytes;
   match Site.find t.site url with
   | Some page -> Some page.Site.last_modified
   | None ->
     t.stats.not_found <- t.stats.not_found + 1;
     None
 
+(* An exchange that died on the wire (timeout, 5xx, truncated body):
+   recorded by the network runtime so failure traffic is visible next
+   to the successful accesses. *)
+let record_failed t = t.stats.failed <- t.stats.failed + 1
+
 let pp_stats ppf s =
-  Fmt.pf ppf "GET=%d HEAD=%d 404=%d bytes=%d" s.gets s.heads s.not_found s.bytes
+  Fmt.pf ppf "GET=%d HEAD=%d 404=%d bytes=%d head_bytes=%d failed=%d" s.gets s.heads
+    s.not_found s.bytes s.head_bytes s.failed

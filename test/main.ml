@@ -19,4 +19,5 @@ let () =
       Test_rule2.suite;
       Test_sql_extra.suite;
       Test_equivalence.suite;
+      Test_netsim.suite;
     ]
