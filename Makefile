@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-kernel bench-fetch examples clean
+.PHONY: build test check bench bench-kernel bench-fetch bench-exec examples clean
 
 build:
 	dune build @all
@@ -8,15 +8,22 @@ test:
 
 # Strict gate: warning-clean build, full test suite, and the static
 # analyzer over every generated site (schema + view lint plus sample
-# queries; nonzero exit on any error-severity diagnostic).
+# queries — including every SQL query the examples/ programs run;
+# nonzero exit on any error-severity diagnostic).
 check:
 	dune build --profile ci @all
 	dune runtest --profile ci
 	dune exec --profile ci bin/webviews_cli.exe -- check --site university \
 	  "SELECT p.PName, p.Email FROM Professor p, ProfDept pd WHERE p.PName = pd.PName AND pd.DName = 'Computer Science'" \
-	  "SELECT c.CName, ci.PName FROM Course c, CourseInstructor ci WHERE c.CName = ci.CName"
+	  "SELECT c.CName, ci.PName FROM Course c, CourseInstructor ci WHERE c.CName = ci.CName" \
+	  "SELECT p.PName, p.Rank FROM Professor p, ProfDept d WHERE p.PName = d.PName AND d.DName = 'Computer Science'" \
+	  "SELECT p.PName FROM Professor p" \
+	  "SELECT c.CName, c.Description FROM Professor p, CourseInstructor ci, Course c WHERE p.PName = ci.PName AND ci.CName = c.CName AND c.Session = 'Fall' AND p.Rank = 'Full'"
 	dune exec --profile ci bin/webviews_cli.exe -- check --site catalog \
-	  "SELECT p.PName, p.Price FROM Product p WHERE p.Category = 'Audio'"
+	  "SELECT p.PName, p.Price FROM Product p WHERE p.Category = 'Audio'" \
+	  "SELECT p.PName, p.Price FROM Product p WHERE p.Brand = 'Acme' AND p.Price < 50" \
+	  "SELECT p.PName, p.Brand FROM Product p WHERE p.Category = 'Audio' AND p.Price >= 400" \
+	  "SELECT p.PName FROM Product p WHERE p.Price > 495"
 	dune exec --profile ci bin/webviews_cli.exe -- check --site bibliography
 
 # Regenerate every experiment of the paper plus bechamel timings.
@@ -37,6 +44,15 @@ bench-kernel:
 # trajectory is tracked across PRs.
 bench-fetch:
 	dune exec bench/main.exe -- fetch
+
+# Streaming executor benchmark: the example 7.2 pointer-join /
+# pointer-chase pair through the streaming physical plans versus the
+# legacy materializing evaluator — page-access identity, peak resident
+# rows, and the LIMIT 1 early-exit saving. Writes BENCH_exec.json in
+# the current directory; commit it so the trajectory is tracked across
+# PRs.
+bench-exec:
+	dune exec bench/main.exe -- exec
 
 examples:
 	dune exec examples/quickstart.exe

@@ -800,6 +800,141 @@ let fetch () =
   Fmt.pr "@.wrote BENCH_fetch.json (%d entries)@." (List.length records)
 
 (* ------------------------------------------------------------------ *)
+(* Exec benchmark: streaming vs materializing execution                *)
+(* ------------------------------------------------------------------ *)
+
+(* The Example 7.2 pointer-join / pointer-chase pair through the
+   streaming executor versus the legacy relation-at-a-time evaluator:
+   same pages, same answers, but the pipeline's transient residency is
+   bounded by its largest batch while the materializer holds whole
+   intermediate relations; and with LIMIT 1 the early-exit protocol
+   stops the chase after its first prefetch window. Results go to
+   stdout and BENCH_exec.json. *)
+
+(* Peak resident rows of the materializing evaluator: at each operator
+   the inputs are fully materialized before the output exists, so the
+   live set is |inputs| + |output| (for a navigation, also the fetched
+   target relation). Computed by evaluating subexpressions with the
+   legacy evaluator itself. *)
+let mat_peak_rows schema source e =
+  let card ex = Adm.Relation.cardinality (Eval.eval_legacy schema source ex) in
+  let rec go (e : Nalg.expr) =
+    match e with
+    | Nalg.External _ -> 0
+    | Nalg.Entry _ -> card e
+    | Nalg.Select (_, e1) | Nalg.Project (_, e1) | Nalg.Unnest (e1, _) ->
+      max (go e1) (card e1 + card e)
+    | Nalg.Join (_, e1, e2) -> max (max (go e1) (go e2)) (card e1 + card e2 + card e)
+    | Nalg.Follow { src; link; _ } ->
+      let src_rel = Eval.eval_legacy schema source src in
+      let targets =
+        Adm.Relation.column link src_rel
+        |> List.filter_map Adm.Value.as_link
+        |> List.sort_uniq String.compare |> List.length
+      in
+      max (go src) (Adm.Relation.cardinality src_rel + targets + card e)
+  in
+  go e
+
+let exec_bench () =
+  banner "Exec: streaming pipeline vs materializing evaluator (example 7.2)";
+  let uni, schema, stats = university_setup Sitegen.University.default_config in
+  let site = Sitegen.University.site uni in
+  let window = 8 in
+  let latency_fetcher () =
+    let http = Websim.Http.connect site in
+    let netmodel =
+      Websim.Netmodel.create (Websim.Netmodel.config ~seed:42 ~fault_rate:0.0 ())
+    in
+    Websim.Fetcher.create
+      ~config:(Websim.Fetcher.config ~window ~retries:3 ())
+      ~netmodel http
+  in
+  let plans =
+    [
+      ("pointer-join", literal_join_plan_72 ());
+      ("pointer-chase", literal_chase_plan_72 ());
+    ]
+  in
+  let records =
+    List.map
+      (fun (name, plan) ->
+        (* streaming: lowered with cost annotations, run with metrics *)
+        let fetcher = latency_fetcher () in
+        let source = Eval.fetcher_source schema fetcher in
+        let phys = Cost.lower ~window schema stats plan in
+        let result, m = Exec.run_metrics schema source phys in
+        let s_gets = (Websim.Http.stats (Websim.Fetcher.http fetcher)).Websim.Http.gets in
+        let s_elapsed = Websim.Fetcher.elapsed_ms fetcher in
+        (* materializing: the legacy evaluator over an identical engine *)
+        let fetcher2 = latency_fetcher () in
+        let source2 = Eval.fetcher_source schema fetcher2 in
+        let legacy = Eval.eval_legacy schema source2 plan in
+        let m_gets = (Websim.Http.stats (Websim.Fetcher.http fetcher2)).Websim.Http.gets in
+        let m_elapsed = Websim.Fetcher.elapsed_ms fetcher2 in
+        let m_peak = mat_peak_rows schema (Eval.instance_source (Websim.Crawler.crawl schema (Websim.Http.connect site))) plan in
+        let identical = Adm.Relation.equal result legacy in
+        (name, plan, m, s_gets, s_elapsed, m_gets, m_elapsed, m_peak, identical))
+      plans
+  in
+  print_table
+    [ "plan"; "mode"; "gets"; "elapsed ms"; "peak rows"; "state rows"; "identical" ]
+    (List.concat_map
+       (fun (name, _, m, s_gets, s_elapsed, m_gets, m_elapsed, m_peak, identical) ->
+         [
+           [ name; "streaming"; string_of_int s_gets; f1 s_elapsed;
+             string_of_int (Exec.peak_resident_rows m);
+             string_of_int m.Exec.state_rows; (if identical then "yes" else "NO") ];
+           [ name; "materializing"; string_of_int m_gets; f1 m_elapsed;
+             string_of_int m_peak; "0"; "-" ];
+         ])
+       records);
+  (* LIMIT 1 on the pointer chase: the early-exit protocol stops after
+     the first prefetch window instead of chasing every pointer. A
+     larger university makes the skipped tail visible. *)
+  let big =
+    Sitegen.University.build
+      ~config:
+        { Sitegen.University.default_config with n_profs = 60; n_courses = 150 }
+      ()
+  in
+  let big_site = Sitegen.University.site big in
+  let chase = literal_chase_plan_72 () in
+  let full_gets =
+    let _, gets, _ = measure_plan schema big_site chase in
+    gets
+  in
+  let limit1_gets, limit1_rows =
+    let http = Websim.Http.connect big_site in
+    let source = Eval.live_source schema http in
+    let r = Eval.eval ~limit:1 schema source chase in
+    ((Websim.Http.stats http).Websim.Http.gets, Adm.Relation.cardinality r)
+  in
+  Fmt.pr "@.pointer-chase with LIMIT 1: %d page accesses vs %d for the full answer@."
+    limit1_gets full_gets;
+  let oc = open_out "BENCH_exec.json" in
+  Printf.fprintf oc "{\n  \"suite\": \"exec\",\n  \"results\": [\n";
+  List.iteri
+    (fun i (name, _, m, s_gets, s_elapsed, m_gets, m_elapsed, m_peak, identical) ->
+      Printf.fprintf oc
+        "    { \"plan\": %S, \"window\": %d, \"identical\": %b,\n\
+        \      \"streaming\": { \"gets\": %d, \"elapsed_ms\": %.1f, \
+         \"peak_resident_rows\": %d, \"state_rows\": %d, \"max_batch_rows\": %d },\n\
+        \      \"materializing\": { \"gets\": %d, \"elapsed_ms\": %.1f, \
+         \"peak_resident_rows\": %d } }%s\n"
+        name window identical s_gets s_elapsed
+        (Exec.peak_resident_rows m)
+        m.Exec.state_rows m.Exec.max_batch_rows m_gets m_elapsed m_peak
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  Printf.fprintf oc
+    "  ],\n  \"limit1\": { \"plan\": \"pointer-chase\", \"full_gets\": %d, \
+     \"limit1_gets\": %d, \"limit1_rows\": %d }\n}\n"
+    full_gets limit1_gets limit1_rows;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_exec.json (%d plans)@." (List.length records)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -897,13 +1032,14 @@ let () =
   | [ "timings" ] -> timings ()
   | [ "kernel" ] -> kernel ()
   | [ "fetch" ] -> fetch ()
+  | [ "exec" ] -> exec_bench ()
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
         | Some f -> f ()
         | None ->
-          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel, fetch)@." name
+          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel, fetch, exec)@." name
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names

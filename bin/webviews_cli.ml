@@ -5,9 +5,10 @@
      webviews scheme   [--site ...]
      webviews crawl    [--site ...]
      webviews plan     [--site ...] [--candidates N] [--cap N] "SELECT ..."
+     webviews explain  [--site ...] [--physical] [--window N] [--cap N] "SELECT ..."
      webviews query    [--site ...] [--cap N] "SELECT ..."
      webviews run      [--site ...] [--faults R] [--latency] [--window N]
-                       [--retries N] "SELECT ..."
+                       [--retries N] [--limit N] "SELECT ..."
      webviews matview  [--site ...] "SELECT ..."
      webviews check    [--site ...] [--cap N] ["SELECT ..." ...]  *)
 
@@ -174,6 +175,53 @@ let plan_cmd =
           $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg $ n_arg
           $ dot_arg $ sql_arg)
 
+let explain_cmd =
+  let run cap physical window sql loaded =
+    let stats = stats_of loaded in
+    let outcome = Planner.plan_sql ?cap loaded.schema stats loaded.registry sql in
+    let best = outcome.Planner.best.Planner.expr in
+    Fmt.pr "%a@.@." Explain.pp_outcome outcome;
+    if physical then begin
+      match Cost.lower ~window loaded.schema stats best with
+      | plan ->
+        List.iter
+          (fun d -> Fmt.pr "%a@." Diagnostic.pp d)
+          (Typecheck.check_plan loaded.schema ~parent:best plan);
+        (* execute over the live site so the tree shows estimated vs
+           actual rows and page accesses side by side *)
+        let http = Websim.Http.connect loaded.site in
+        let config = Websim.Fetcher.config ~window () in
+        let fetcher = Websim.Fetcher.create ~config http in
+        let source = Eval.fetcher_source loaded.schema fetcher in
+        let _result, metrics = Exec.run_metrics loaded.schema source plan in
+        Fmt.pr "%a@." (Explain.pp_physical ~metrics ()) plan
+      | exception Physplan.Not_streamable msg ->
+        Fmt.pr "no streaming physical form (%s); the legacy evaluator would run@." msg
+    end
+    else Fmt.pr "%a@." (Explain.pp_annotated loaded.schema stats) best
+  in
+  let physical_arg =
+    Arg.(value & flag & info [ "physical" ]
+           ~doc:"Lower the best plan to physical operators, execute it, and \
+                 print the physical tree with estimated vs actual rows and \
+                 page accesses per operator.")
+  in
+  let window_arg =
+    Arg.(value & opt int 8 & info [ "window" ] ~docv:"N"
+           ~doc:"Prefetch window of the streaming executor's navigations.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain the optimizer's chosen plan: the annotated logical tree by \
+          default, or with $(b,--physical) the lowered physical operator tree \
+          (fused filters, hash-join build sides, streaming navigations) with \
+          per-operator estimated vs actual counters.")
+    Term.(const (fun site depts profs courses seed cap physical window sql ->
+              with_site (run cap physical window sql) site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg
+          $ physical_arg $ window_arg $ sql_arg)
+
 let query_cmd =
   let run cap sql loaded =
     let stats = stats_of loaded in
@@ -194,7 +242,7 @@ let query_cmd =
           $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg $ sql_arg)
 
 let run_cmd =
-  let run faults latency window retries net_seed cap sql loaded =
+  let run faults latency window retries net_seed cap limit sql loaded =
     let stats = stats_of loaded in
     let http = Websim.Http.connect loaded.site in
     let netmodel =
@@ -212,7 +260,7 @@ let run_cmd =
       outcome.Planner.best.Planner.cost
       (Cost.elapsed_estimate ~window loaded.schema stats best)
       window Nalg.pp_plan best;
-    let report = Eval.eval_fetched loaded.schema fetcher best in
+    let report = Eval.eval_fetched ?limit loaded.schema fetcher best in
     Fmt.pr "%a@.@." Adm.Relation.pp (Planner.rename_output outcome report.Eval.result);
     Fmt.pr "%a@." Explain.pp_fetch_report report
   in
@@ -240,6 +288,12 @@ let run_cmd =
            ~doc:"Seed of the network model; every fault and latency draw \
                  replays deterministically from it.")
   in
+  let limit_arg =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N"
+           ~doc:"Stop after N result rows: the streaming executor's \
+                 early-exit protocol stops fetching pages the truncated \
+                 answer does not need.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
@@ -249,11 +303,12 @@ let run_cmd =
           both cost ledgers (page accesses and fetch-engine counters) and \
           the simulated elapsed time.")
     Term.(const (fun site depts profs courses seed faults latency window retries
-                     net_seed cap sql ->
-              with_site (run faults latency window retries net_seed cap sql)
+                     net_seed cap limit sql ->
+              with_site (run faults latency window retries net_seed cap limit sql)
                 site depts profs courses seed)
           $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ faults_arg
-          $ latency_arg $ window_arg $ retries_arg $ net_seed_arg $ cap_arg $ sql_arg)
+          $ latency_arg $ window_arg $ retries_arg $ net_seed_arg $ cap_arg
+          $ limit_arg $ sql_arg)
 
 let matview_cmd =
   let run sql loaded =
@@ -383,8 +438,8 @@ let main_cmd =
   let doc = "Efficient queries over web views (EDBT 1998 reproduction)" in
   Cmd.group (Cmd.info "webviews" ~doc)
     [
-      scheme_cmd; crawl_cmd; plan_cmd; query_cmd; run_cmd; matview_cmd;
-      navigations_cmd; discover_cmd; check_cmd;
+      scheme_cmd; crawl_cmd; plan_cmd; explain_cmd; query_cmd; run_cmd;
+      matview_cmd; navigations_cmd; discover_cmd; check_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -85,6 +85,39 @@ let of_arrays attrs rows =
     rows;
   { header = h; rows }
 
+let of_seq attrs rows =
+  let h = header_of_names attrs in
+  let w = width h in
+  let rows =
+    Seq.fold_left
+      (fun acc r ->
+        if Array.length r <> w then
+          invalid_arg
+            (Printf.sprintf "Relation.of_seq: row has %d slots, header has %d"
+               (Array.length r) w);
+        r :: acc)
+      [] rows
+  in
+  { header = h; rows = List.rev rows }
+
+let to_seq r = List.to_seq r.rows
+
+let row_batches n r =
+  if n <= 0 then invalid_arg "Relation.row_batches: batch size must be positive";
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let rec chunks rows () =
+    match rows with
+    | [] -> Seq.Nil
+    | _ ->
+      let batch, rest = take n [] rows in
+      Seq.Cons (batch, chunks rest)
+  in
+  chunks r.rows
+
 let attrs r = Array.to_list r.header.names
 let rows r = List.map (row_to_tuple r.header) r.rows
 let rows_arrays r = r.rows

@@ -21,6 +21,26 @@ val of_arrays : string list -> row list -> t
 (** Positional constructor: rows must already be in header order.
     Raises on a width mismatch. *)
 
+val of_seq : string list -> row Seq.t -> t
+(** {!of_arrays} over a row sequence: the cursor-friendly constructor
+    used by the streaming executor to sink a pipeline's output without
+    an intermediate list. The sequence is forced once. *)
+
+val to_seq : t -> row Seq.t
+(** The positional rows as a sequence, in relation order. Shared with
+    the relation: do not mutate the arrays. *)
+
+val row_batches : int -> t -> row list Seq.t
+(** [row_batches n r] chops the rows of [r] into consecutive batches
+    of at most [n] rows (the last may be shorter) — the batch view a
+    pull-based operator consumes. Raises on [n <= 0]. *)
+
+module Row_tbl : Hashtbl.S with type key = row
+(** Hash tables keyed on rows (or key sub-rows), hashed and compared
+    structurally with {!Value.hash}/{!Value.equal} — the same tables
+    the set-semantics operators use internally, exposed for streaming
+    operators that need build sides and dedup sets over rows. *)
+
 val attrs : t -> string list
 
 val rows : t -> Value.tuple list

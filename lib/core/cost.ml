@@ -137,15 +137,38 @@ let rec byte_estimate (schema : Adm.Schema.t) (stats : Stats.t) (root : Nalg.exp
 
 let byte_cost schema stats e = byte_estimate schema stats e e
 
+(* Lowering with cost annotations: the physical plan carries, per
+   operator, the estimated output cardinality and the page accesses
+   the operator itself issues (1 for a scan; the distinct-link count
+   of Section 6.2 for a navigation). The [pages] callback computes
+   the navigation count directly — not as a cost difference — so the
+   annotation matches the worked examples exactly. *)
+let lower ?window (schema : Adm.Schema.t) (stats : Stats.t) (e : Nalg.expr) :
+    Physplan.plan =
+  let card sub = (estimate schema stats e sub).card in
+  let pages sub =
+    match sub with
+    | Nalg.Entry _ -> 1.0
+    | Nalg.Follow { src; link; _ } ->
+      distinct_in stats e link (estimate schema stats e src).card
+    | _ -> 0.0
+  in
+  Physplan.lower ~card ~pages ?window schema e
+
 (* Predicted simulated elapsed time (milliseconds) under the batched
-   fetch engine: a navigation submits its URL set as one batch whose
-   latencies overlap under the in-flight window, so a Follow costs
-   ceil(navigations / window) sequential rounds of the per-page
-   latency instead of one round per page. Local operators stay free;
-   only the network dimension changes versus the page-access model. *)
+   fetch engine: a navigation submits its URL set in prefetch windows
+   whose latencies overlap, so a Follow costs ceil(navigations /
+   window) sequential rounds of the per-page latency instead of one
+   round per page. Local operators stay free. Since the physical-plan
+   layer this is computed from the plan actually executed — a fold
+   over the lowered operators, page-fetching ones only — with the
+   logical recursion kept as [elapsed_aux] for plans that have no
+   streaming form. *)
+let rounds ~window n =
+  Float.of_int (int_of_float (Float.ceil (n /. float_of_int (max 1 window))))
+
 let rec elapsed_aux (schema : Adm.Schema.t) (stats : Stats.t) (root : Nalg.expr)
     ~window ~get_ms (e : Nalg.expr) : float =
-  let rounds n = Float.of_int (int_of_float (Float.ceil (n /. float_of_int (max 1 window)))) in
   match e with
   | Nalg.External _ -> infinity
   | Nalg.Entry _ -> get_ms
@@ -157,7 +180,21 @@ let rec elapsed_aux (schema : Adm.Schema.t) (stats : Stats.t) (root : Nalg.expr)
   | Nalg.Follow { src; link; scheme = _; alias = _ } ->
     let { card; _ } = estimate schema stats root src in
     let navigations = distinct_in stats root link card in
-    elapsed_aux schema stats root ~window ~get_ms src +. (rounds navigations *. get_ms)
+    elapsed_aux schema stats root ~window ~get_ms src
+    +. (rounds ~window navigations *. get_ms)
 
 let elapsed_estimate ?(window = 1) ?(get_ms = 40.0) schema stats e =
-  elapsed_aux schema stats e ~window ~get_ms e
+  match lower ~window schema stats e with
+  | plan ->
+    Physplan.fold
+      (fun acc (o : Physplan.op) ->
+        match o.Physplan.node, o.Physplan.est with
+        | Physplan.Scan _, _ -> acc +. get_ms
+        | Physplan.Follow_links _, Some { est_pages; _ } ->
+          acc +. (rounds ~window est_pages *. get_ms)
+        | Physplan.Follow_links _, None -> acc +. get_ms
+        | (Physplan.Filter _ | Physplan.Project _ | Physplan.Hash_join _
+          | Physplan.Stream_unnest _), _ -> acc)
+      0.0 plan
+  | exception Physplan.Not_computable _ -> infinity
+  | exception Physplan.Not_streamable _ -> elapsed_aux schema stats e ~window ~get_ms e

@@ -24,13 +24,22 @@ val byte_cost : Adm.Schema.t -> Stats.t -> Nalg.expr -> float
     (page accesses weighted by average page size per scheme).
     Distinguishes plans that tie on page count. *)
 
+val lower : ?window:int -> Adm.Schema.t -> Stats.t -> Nalg.expr -> Physplan.plan
+(** {!Physplan.lower} with cost annotations: each operator carries its
+    estimated output cardinality and the page accesses it issues (1
+    for a scan, the distinct-link count for a navigation), and join
+    build sides are chosen from the cardinality estimates. Raises like
+    {!Physplan.lower}. *)
+
 val elapsed_estimate :
   ?window:int -> ?get_ms:float -> Adm.Schema.t -> Stats.t -> Nalg.expr -> float
 (** Predicted simulated elapsed milliseconds under the batched fetch
-    engine: a Follow costs [ceil(navigations / window)] sequential
-    rounds of the per-page latency [get_ms] (default: the network
-    model's default 40ms round-trip) instead of one round per page.
-    With [window = 1] (default) this is [get_ms * page-access cost]. *)
+    engine, computed from the physical plan actually executed: each
+    scan costs one [get_ms] round (default: the network model's 40ms
+    round-trip) and each navigation [ceil(navigations / window)]
+    rounds. With [window = 1] (default) this is [get_ms * page-access
+    cost]. Non-computable expressions estimate [infinity];
+    non-streamable ones fall back to the logical recursion. *)
 
 val distinct_of : Stats.t -> Nalg.expr -> string -> int option
 (** c_A for an attribute of the plan, resolved through its alias. *)

@@ -2,25 +2,30 @@
 
    Pages are obtained through a page source, which abstracts where
    tuples come from: the live site over (simulated) HTTP, or the local
-   materialized store of Section 8. The evaluator itself is the same
-   in both cases, exactly as the paper describes: a navigation
-   [P1 →L P2] is evaluated by collecting the distinct values of link
-   attribute L and joining the fetched pages on [P1.L = P2.URL]. *)
+   materialized store of Section 8. Since the physical-plan layer,
+   evaluation is lower-then-run: the logical tree is compiled by
+   {!Physplan.lower} into a streaming plan and executed by
+   {!Exec.run} with pull-based cursors — same results, same distinct
+   page accesses, but pipelined fetching and bounded intermediate
+   state. Expressions with no streaming form (an unnest whose inner
+   header cannot be inferred statically) fall back to [eval_legacy],
+   the original relation-at-a-time interpreter, which is also kept as
+   the differential-testing oracle. *)
 
-exception Not_computable of string
+exception Not_computable = Physplan.Not_computable
 
-type source = {
+type source = Exec.source = {
   fetch : scheme:string -> url:string -> Adm.Value.tuple option;
-      (* the page tuple for a URL, or None when the page is gone *)
   prefetch : string list -> unit;
-      (* batch hint: a navigation is about to fetch these URLs *)
   describe : string;
+  window : int;
 }
 
 (* A source over the resilient fetch engine: pages are downloaded
    through its cache, retries and circuit breaker, and a navigation's
    URL set is submitted as one batch whose simulated latencies overlap
-   under the fetcher's window. *)
+   under the fetcher's window. The executor's prefetch windows follow
+   the fetcher's configured width. *)
 let fetcher_source (schema : Adm.Schema.t) (fetcher : Websim.Fetcher.t) =
   let fetch ~scheme ~url =
     match Websim.Fetcher.get fetcher url with
@@ -33,6 +38,7 @@ let fetcher_source (schema : Adm.Schema.t) (fetcher : Websim.Fetcher.t) =
     fetch;
     prefetch = (fun urls -> Websim.Fetcher.prefetch fetcher urls);
     describe = "fetcher";
+    window = Websim.Fetcher.window fetcher;
   }
 
 (* A live source downloads pages with GET and wraps them. With
@@ -54,104 +60,95 @@ let instance_source (instance : Websim.Crawler.instance) =
     fetch = (fun ~scheme ~url -> Websim.Crawler.tuple_of_url instance ~scheme ~url);
     prefetch = ignore;
     describe = "instance";
+    window = 32;
   }
 
+let pages_relation = Exec.pages_relation
+
 (* ------------------------------------------------------------------ *)
-(* The evaluator                                                       *)
+(* The legacy relation-at-a-time evaluator                             *)
 (* ------------------------------------------------------------------ *)
 
-let scheme_attr_names (schema : Adm.Schema.t) scheme =
-  let ps = Adm.Schema.find_scheme_exn schema scheme in
-  Adm.Page_scheme.url_attr
-  :: List.map
-       (fun (d : Adm.Page_scheme.attr_decl) -> d.Adm.Page_scheme.name)
-       (Adm.Page_scheme.attrs ps)
-
-(* The page relation of a set of URLs: fetch each, qualify attributes
-   with the alias. URLs whose page is gone are skipped (dangling
-   links are tolerated, as on the real web).
-
-   Rows are built positionally: wrapped page tuples list the URL
-   attribute followed by the scheme attributes in declaration order —
-   exactly the header — so the common case is a straight lock-step
-   copy; any straggler binding falls back to a lookup. *)
-let pages_relation schema source ~scheme ~alias urls =
-  let names = scheme_attr_names schema scheme in
-  let width = List.length names in
-  let row_of_tuple tuple =
-    let row = Array.make width Adm.Value.Null in
-    let rec go i names bindings =
-      match names with
-      | [] -> ()
-      | a :: names' -> (
-        match bindings with
-        | (b, v) :: rest when String.equal a b ->
-          row.(i) <- v;
-          go (i + 1) names' rest
-        | _ ->
-          (match Adm.Value.find tuple a with
-          | Some v -> row.(i) <- v
-          | None -> ());
-          go (i + 1) names' bindings)
-    in
-    go 0 names tuple;
-    row
+(* Kept verbatim in spirit: a navigation [P1 →L P2] collects the
+   distinct values of link attribute L across the fully materialized
+   source, fetches those pages and hash-joins on [P1.L = P2.URL].
+   Used as the fallback for non-streamable expressions and as the
+   oracle the streaming executor is differentially tested against. *)
+let eval_legacy (schema : Adm.Schema.t) (source : source) (e : Nalg.expr) :
+    Adm.Relation.t =
+  let attrs_of = Nalg.output_attrs_memo schema in
+  let rec go (e : Nalg.expr) : Adm.Relation.t =
+    match e with
+    | Nalg.External { name; _ } ->
+      raise
+        (Not_computable
+           (Fmt.str "external relation %s must be replaced by a default navigation (rule 1)" name))
+    | Nalg.Entry { scheme; alias } -> (
+      let ps = Adm.Schema.find_scheme_exn schema scheme in
+      match Adm.Page_scheme.entry_url ps with
+      | None ->
+        raise (Not_computable (Fmt.str "page-scheme %s is not an entry point" scheme))
+      | Some url -> pages_relation schema source ~scheme ~alias [ url ])
+    | Nalg.Select (p, e1) ->
+      let r = go e1 in
+      Adm.Relation.filter_rows (Pred.compile ~offset:(Adm.Relation.offset_opt r) p) r
+    | Nalg.Project (attrs, e1) -> Adm.Relation.project attrs (go e1)
+    | Nalg.Join (keys, e1, e2) -> Adm.Relation.equi_join keys (go e1) (go e2)
+    | Nalg.Unnest (e1, attr) ->
+      (* seed the unnested header with the statically-known nested
+         attributes so that empty inputs keep a full header; the
+         inference is memoized per (schema, expression) *)
+      let prefix = attr ^ "." in
+      let expect =
+        List.filter
+          (fun a ->
+            String.length a > String.length prefix
+            && String.sub a 0 (String.length prefix) = prefix)
+          (attrs_of e)
+      in
+      Adm.Relation.unnest ~expect attr (go e1)
+    | Nalg.Follow { src; link; scheme; alias } ->
+      let src_rel = go src in
+      let urls =
+        Adm.Relation.column link src_rel
+        |> List.filter_map Adm.Value.as_link
+        |> List.sort_uniq String.compare
+      in
+      let target = pages_relation schema source ~scheme ~alias urls in
+      Adm.Relation.equi_join
+        [ (link, alias ^ "." ^ Adm.Page_scheme.url_attr) ]
+        src_rel target
   in
-  source.prefetch urls;
-  let rows =
-    List.filter_map
-      (fun url -> Option.map row_of_tuple (source.fetch ~scheme ~url))
-      urls
-  in
-  Adm.Relation.prefix_attrs alias (Adm.Relation.of_arrays names rows)
+  go e
 
-let rec eval (schema : Adm.Schema.t) (source : source) (e : Nalg.expr) : Adm.Relation.t =
-  match e with
-  | Nalg.External { name; _ } ->
-    raise
-      (Not_computable
-         (Fmt.str "external relation %s must be replaced by a default navigation (rule 1)" name))
-  | Nalg.Entry { scheme; alias } -> (
-    let ps = Adm.Schema.find_scheme_exn schema scheme in
-    match Adm.Page_scheme.entry_url ps with
-    | None ->
-      raise (Not_computable (Fmt.str "page-scheme %s is not an entry point" scheme))
-    | Some url -> pages_relation schema source ~scheme ~alias [ url ])
-  | Nalg.Select (p, e1) ->
-    let r = eval schema source e1 in
-    Adm.Relation.filter_rows (Pred.compile ~offset:(Adm.Relation.offset_opt r) p) r
-  | Nalg.Project (attrs, e1) -> Adm.Relation.project attrs (eval schema source e1)
-  | Nalg.Join (keys, e1, e2) ->
-    Adm.Relation.equi_join keys (eval schema source e1) (eval schema source e2)
-  | Nalg.Unnest (e1, attr) ->
-    (* seed the unnested header with the statically-known nested
-       attributes so that empty inputs keep a full header *)
-    let prefix = attr ^ "." in
-    let expect =
-      List.filter
-        (fun a ->
-          String.length a > String.length prefix
-          && String.sub a 0 (String.length prefix) = prefix)
-        (Nalg.output_attrs schema e)
+(* ------------------------------------------------------------------ *)
+(* Lower-then-run                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let truncate limit r =
+  match limit with
+  | None -> r
+  | Some l ->
+    let rec take n = function
+      | [] -> []
+      | _ when n <= 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
     in
-    Adm.Relation.unnest ~expect attr (eval schema source e1)
-  | Nalg.Follow { src; link; scheme; alias } ->
-    let src_rel = eval schema source src in
-    let urls =
-      Adm.Relation.column link src_rel
-      |> List.filter_map Adm.Value.as_link
-      |> List.sort_uniq String.compare
-    in
-    let target = pages_relation schema source ~scheme ~alias urls in
-    Adm.Relation.equi_join
-      [ (link, alias ^ "." ^ Adm.Page_scheme.url_attr) ]
-      src_rel target
+    Adm.Relation.of_arrays (Adm.Relation.attrs r)
+      (take l (Adm.Relation.rows_arrays r))
+
+let eval ?limit (schema : Adm.Schema.t) (source : source) (e : Nalg.expr) :
+    Adm.Relation.t =
+  match Physplan.lower ~window:source.window schema e with
+  | plan -> Exec.run ?limit schema source plan
+  | exception Physplan.Not_streamable _ ->
+    truncate limit (eval_legacy schema source e)
 
 (* Evaluate and report the network work done, as (relation, stats
    delta). Only meaningful with a live source. *)
-let eval_counted schema http source e =
+let eval_counted ?limit schema http source e =
   let before = Websim.Http.snapshot http in
-  let result = eval schema source e in
+  let result = eval ?limit schema source e in
   let after = Websim.Http.snapshot http in
   (result, Websim.Http.diff ~before ~after)
 
@@ -164,11 +161,11 @@ type fetch_report = {
   net : Websim.Fetcher.counters; (* fetch-engine work, as a delta *)
 }
 
-let eval_fetched schema (fetcher : Websim.Fetcher.t) e =
+let eval_fetched ?limit schema (fetcher : Websim.Fetcher.t) e =
   let http = Websim.Fetcher.http fetcher in
   let before = Websim.Http.snapshot http in
   let net_before = Websim.Fetcher.counters_snapshot (Websim.Fetcher.counters fetcher) in
-  let result = eval schema (fetcher_source schema fetcher) e in
+  let result = eval ?limit schema (fetcher_source schema fetcher) e in
   let after = Websim.Http.snapshot http in
   let net_after = Websim.Fetcher.counters_snapshot (Websim.Fetcher.counters fetcher) in
   {

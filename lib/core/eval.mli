@@ -1,16 +1,22 @@
 (** Evaluation of computable NALG expressions over a {e page source} —
     the live site over HTTP, a crawled instance, or the materialized
-    store of Section 8. A navigation [P1 →L P2] collects the distinct
-    values of [L], fetches those pages and joins on [P1.L = P2.URL]. *)
+    store of Section 8. Evaluation is lower-then-run: {!Physplan.lower}
+    compiles the logical tree into a streaming physical plan and
+    {!Exec.run} executes it with pull-based cursors (same results and
+    distinct page accesses as relation-at-a-time evaluation, but
+    pipelined fetching, incremental link dedup and bounded intermediate
+    state). Non-streamable expressions fall back to {!eval_legacy}. *)
 
 exception Not_computable of string
 
-type source = {
+type source = Exec.source = {
   fetch : scheme:string -> url:string -> Adm.Value.tuple option;
       (** the page tuple for a URL, or [None] when the page is gone *)
   prefetch : string list -> unit;
       (** batch hint: a navigation is about to fetch these URLs *)
   describe : string;
+  window : int;
+      (** prefetch window the streaming executor hands to [prefetch] *)
 }
 
 val fetcher_source : Adm.Schema.t -> Websim.Fetcher.t -> source
@@ -33,12 +39,20 @@ val pages_relation :
 (** The page relation of a URL set, attributes qualified by [alias].
     URLs whose page is gone are skipped (dangling links tolerated). *)
 
-val eval : Adm.Schema.t -> source -> Nalg.expr -> Adm.Relation.t
-(** Raises {!Not_computable} on [External] leaves or non-entry-point
-    [Entry] leaves. *)
+val eval : ?limit:int -> Adm.Schema.t -> source -> Nalg.expr -> Adm.Relation.t
+(** Lower and run. With [limit], the executor stops pulling (and
+    fetching pages) once that many rows are produced — the early-exit
+    protocol. Raises {!Not_computable} on [External] leaves or
+    non-entry-point [Entry] leaves. *)
+
+val eval_legacy : Adm.Schema.t -> source -> Nalg.expr -> Adm.Relation.t
+(** The original relation-at-a-time interpreter: every operator
+    materializes its input, a navigation collects the distinct link
+    values of the whole source before fetching. Fallback for
+    non-streamable plans and the oracle for differential tests. *)
 
 val eval_counted :
-  Adm.Schema.t -> Websim.Http.t -> source -> Nalg.expr ->
+  ?limit:int -> Adm.Schema.t -> Websim.Http.t -> source -> Nalg.expr ->
   Adm.Relation.t * Websim.Http.stats
 (** Evaluate and report the network work done. *)
 
@@ -48,7 +62,8 @@ type fetch_report = {
   net : Websim.Fetcher.counters;  (** fetch-engine work, as a delta *)
 }
 
-val eval_fetched : Adm.Schema.t -> Websim.Fetcher.t -> Nalg.expr -> fetch_report
+val eval_fetched :
+  ?limit:int -> Adm.Schema.t -> Websim.Fetcher.t -> Nalg.expr -> fetch_report
 (** Evaluate through the fetch engine and report both cost ledgers —
     page accesses and runtime counters (attempts, retries, cache
     traffic, simulated elapsed milliseconds). *)

@@ -1,0 +1,68 @@
+(** Pull-based cursor execution of {!Physplan} plans.
+
+    Each operator compiles to a cursor yielding non-empty row batches;
+    the consumer pulls from the root, so a [LIMIT] (or an emptiness
+    check) stops pulling and upstream operators — in particular the
+    page-fetching ones — never do the skipped work (the early-exit
+    protocol). Results are the same headers and row multisets as the
+    legacy relation-at-a-time evaluator, and on a perfect network the
+    same distinct page accesses. *)
+
+type source = {
+  fetch : scheme:string -> url:string -> Adm.Value.tuple option;
+      (** the page tuple for a URL, or [None] when the page is gone *)
+  prefetch : string list -> unit;
+      (** batch hint: a navigation is about to fetch these URLs *)
+  describe : string;
+  window : int;  (** prefetch window the executor hands to [prefetch] *)
+}
+
+type op_metrics = {
+  mutable rows_out : int;
+  mutable batches_out : int;
+  mutable pages : int;  (** page accesses this operator issued *)
+}
+
+type metrics = {
+  ops : op_metrics array;  (** indexed by {!Physplan.op} id *)
+  mutable max_batch_rows : int;
+  mutable peak_queue_rows : int;
+      (** pending rows queued inside [Follow_links] *)
+  mutable state_rows : int;
+      (** rows retained in build tables, dedup sets and page tables *)
+  mutable result_rows : int;
+  mutable exhausted : bool;
+      (** [false] when a limit stopped the pull early *)
+}
+
+val peak_resident_rows : metrics -> int
+(** Transient residency: the largest row set alive at once outside the
+    (separately counted) operator state — [max max_batch_rows
+    peak_queue_rows]. *)
+
+val run :
+  ?limit:int -> Adm.Schema.t -> source -> Physplan.plan -> Adm.Relation.t
+(** Execute a plan. With [limit], stop pulling (and fetching) once that
+    many rows are produced. *)
+
+val run_metrics :
+  ?limit:int ->
+  Adm.Schema.t ->
+  source ->
+  Physplan.plan ->
+  Adm.Relation.t * metrics
+(** {!run} plus the per-operator and pipeline counters. *)
+
+(** {1 Page-scheme helpers}
+
+    Shared with the legacy evaluator in {!Eval}. *)
+
+val scheme_attr_names : Adm.Schema.t -> string -> string list
+(** URL attribute followed by the scheme attributes in declaration
+    order — the header of a page relation before alias qualification. *)
+
+val pages_relation :
+  Adm.Schema.t -> source -> scheme:string -> alias:string -> string list ->
+  Adm.Relation.t
+(** The page relation of a URL set, attributes qualified by [alias].
+    URLs whose page is gone are skipped (dangling links tolerated). *)

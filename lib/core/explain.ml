@@ -30,6 +30,51 @@ let pp_annotated (schema : Adm.Schema.t) (stats : Stats.t) ppf (root : Nalg.expr
   in
   Fmt.pf ppf "@[<v>%a@]" (go 0) root
 
+(* The physical tree, annotated per operator with the cost model's
+   estimates carried by the plan and — when the plan has been run —
+   the executor's actual rows, batches and page accesses next to
+   them, so a prediction that went wrong is visible on the exact
+   operator that missed. *)
+let pp_physical ?metrics () ppf (plan : Physplan.plan) =
+  let note (o : Physplan.op) =
+    let est =
+      match o.Physplan.est with
+      | Some { Physplan.est_rows; est_pages } ->
+        if est_pages > 0.0 then
+          Fmt.str "est rows≈%.1f, pages≈%.1f" est_rows est_pages
+        else Fmt.str "est rows≈%.1f" est_rows
+      | None -> ""
+    in
+    let actual =
+      match metrics with
+      | None -> ""
+      | Some (m : Exec.metrics) ->
+        let om = m.Exec.ops.(o.Physplan.id) in
+        if om.Exec.pages > 0 then
+          Fmt.str "actual rows=%d, batches=%d, pages=%d" om.Exec.rows_out
+            om.Exec.batches_out om.Exec.pages
+        else Fmt.str "actual rows=%d, batches=%d" om.Exec.rows_out om.Exec.batches_out
+    in
+    match est, actual with
+    | "", "" -> ""
+    | e, "" | "", e -> Fmt.str "  {%s}" e
+    | e, a -> Fmt.str "  {%s | %s}" e a
+  in
+  let rec go indent ppf (o : Physplan.op) =
+    let pad = String.make indent ' ' in
+    Fmt.pf ppf "%s%s%s@," pad (Physplan.node_label o) (note o);
+    match o.Physplan.node with
+    | Physplan.Scan _ -> ()
+    | Physplan.Filter { input; _ }
+    | Physplan.Project { input; _ }
+    | Physplan.Stream_unnest { input; _ } -> go (indent + 2) ppf input
+    | Physplan.Follow_links { src; _ } -> go (indent + 2) ppf src
+    | Physplan.Hash_join { left; right; _ } ->
+      go (indent + 2) ppf left;
+      go (indent + 2) ppf right
+  in
+  Fmt.pf ppf "@[<v>%a@]" (go 0) plan.Physplan.root
+
 (* Graphviz rendering of a query plan, one node per operator, in the
    visual style of the paper's figures (page relations as boxes, link
    operators as upward edges). *)

@@ -5,6 +5,12 @@
 val pp_annotated : Adm.Schema.t -> Stats.t -> Nalg.expr Fmt.t
 (** The plan tree with per-node cardinality and cost estimates. *)
 
+val pp_physical : ?metrics:Exec.metrics -> unit -> Physplan.plan Fmt.t
+(** The physical operator tree, each operator annotated with the cost
+    model's estimated rows and page accesses, and — when [metrics]
+    from a {!Exec.run_metrics} execution are supplied — the actual
+    rows, batches and page accesses beside the estimates. *)
+
 val to_dot : Nalg.expr -> string
 (** Graphviz rendering of the plan, paper-figure style (page relations
     as boxes, link operators as upward edges). *)

@@ -224,6 +224,7 @@ let source t : Eval.source =
     Eval.fetch = (fun ~scheme ~url -> url_check t ~scheme ~url);
     prefetch = ignore (* URLCheck is per-tuple: HEADs, not page batches *);
     describe = "materialized";
+    window = 32 (* batching granularity only: URLCheck work is per-tuple *);
   }
 
 (* Evaluate a plan over the materialized view. Status flags are valid

@@ -1,0 +1,83 @@
+(** Physical operator plans — the executable form of a NALG expression.
+
+    Logical NALG (Section 4) says {e what} a navigation computes; a
+    physical plan says {e how}: selections fused into the scans and
+    navigations that produce their input, hash joins with an explicit
+    build side chosen from cardinality estimates, streaming unnest
+    against the statically inferred inner header, and a pipelined
+    [Follow] that dedupes link values incrementally and prefetches in
+    windows. {!Exec} runs these plans with pull-based cursors. *)
+
+type est = {
+  est_rows : float;  (** estimated output cardinality of the operator *)
+  est_pages : float;  (** estimated page accesses the operator issues *)
+}
+
+type node =
+  | Scan of { scheme : string; alias : string; url : string; filter : Pred.t }
+      (** entry-point page access with any fused selection *)
+  | Filter of { pred : Pred.t; input : op }
+  | Project of { attrs : string list; input : op }
+  | Hash_join of {
+      keys : (string * string) list;
+      left : op;
+      right : op;
+      build_left : bool;
+          (** hash the left input and probe with the right (chosen from
+              cardinality estimates; without estimates the right input
+              is built, matching the legacy evaluator) *)
+    }
+  | Stream_unnest of { attr : string; expect : string list; input : op }
+      (** row-by-row expansion of a nested attribute against the
+          statically inferred inner header [expect] *)
+  | Follow_links of {
+      src : op;
+      link : string;
+      scheme : string;
+      alias : string;
+      filter : Pred.t;  (** selection fused over the joined output *)
+    }
+      (** pipelined [R →L P]: incremental URL dedup, windowed prefetch *)
+
+and op = { id : int; node : node; est : est option }
+(** [id] is a dense post-order index in [0 .. n_ops-1]; {!Exec} uses it
+    to address per-operator counters. *)
+
+type plan = { root : op; n_ops : int; window : int }
+
+exception Not_computable of string
+(** Same meaning (and messages) as the legacy evaluator: [External]
+    leaves and non-entry-point [Entry] leaves have no physical form. *)
+
+exception Not_streamable of string
+(** The expression is computable but has no streaming form (an unnest
+    whose inner header cannot be inferred statically); callers fall
+    back to the materializing evaluator. *)
+
+val lower :
+  ?card:(Nalg.expr -> float) ->
+  ?pages:(Nalg.expr -> float) ->
+  ?window:int ->
+  Adm.Schema.t ->
+  Nalg.expr ->
+  plan
+(** Compile a logical expression to a physical plan. [card] estimates
+    the output cardinality of a subexpression and [pages] the page
+    accesses its own operator issues (both typically from {!Cost} over
+    {!Stats}; omitted → no annotations and legacy build sides).
+    [window] (default 8) is the prefetch window handed to the fetch
+    engine. Raises {!Not_computable} or {!Not_streamable}. *)
+
+val to_nalg : plan -> Nalg.expr
+(** Reconstruct the logical expression a plan computes (fused filters
+    reappear as [Select] wrappers) — this is what lets {!Typecheck}
+    judge a lowered plan like any other rewrite. *)
+
+val fold : ('a -> op -> 'a) -> 'a -> plan -> 'a
+(** Pre-order fold over the operators. *)
+
+val node_label : op -> string
+(** One-line description of an operator, without its inputs. *)
+
+val pp : plan Fmt.t
+(** The operator tree, indented. *)

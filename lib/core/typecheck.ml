@@ -213,6 +213,13 @@ let soundness (schema : Adm.Schema.t) ~(parent : Nalg.expr)
     ~(child : Nalg.expr) : Diagnostic.t list =
   judge ~parent:(infer schema parent) ~child:(infer schema child)
 
+(* A lowered physical plan is judged like any other rewrite: its
+   logical reading must typecheck and keep the output shape of the
+   expression it was lowered from. *)
+let check_plan (schema : Adm.Schema.t) ~(parent : Nalg.expr)
+    (plan : Physplan.plan) : Diagnostic.t list =
+  soundness schema ~parent ~child:(Physplan.to_nalg plan)
+
 (* ------------------------------------------------------------------ *)
 (* Schema lint (E02xx / W02xx)                                         *)
 (* ------------------------------------------------------------------ *)

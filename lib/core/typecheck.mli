@@ -50,6 +50,12 @@ val judge :
 (** The judgment underlying {!soundness}, over pre-computed {!infer}
     results — lets the planner memoize inference across a closure. *)
 
+val check_plan :
+  Adm.Schema.t -> parent:Nalg.expr -> Physplan.plan -> Diagnostic.t list
+(** Judge a lowered physical plan like a rewrite step: its logical
+    reading ({!Physplan.to_nalg}) must typecheck and keep [parent]'s
+    output shape. Returns [[]] when the lowering is sound. *)
+
 val lint_schema : Adm.Schema.t -> Diagnostic.t list
 (** Schema well-formedness beyond what {!Adm.Schema.make} enforces:
     unresolvable constraint paths, link constraints on non-links or

@@ -190,6 +190,7 @@ let create ?(config = default_config) ?netmodel http =
 let http t = t.http
 let netmodel t = t.net
 let fetcher_config t = t.cfg
+let window t = t.cfg.window
 let counters t = t.counters
 let caching t = t.cfg.cache_capacity > 0
 let elapsed_ms t = t.counters.elapsed_ms

@@ -66,6 +66,11 @@ val create : ?config:config -> ?netmodel:Netmodel.t -> Http.t -> t
 val http : t -> Http.t
 val netmodel : t -> Netmodel.t option
 val fetcher_config : t -> config
+
+val window : t -> int
+(** The configured in-flight width — the prefetch window size the
+    streaming executor hands to {!prefetch}. *)
+
 val counters : t -> counters
 val reset_counters : t -> unit
 val caching : t -> bool

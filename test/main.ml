@@ -20,4 +20,5 @@ let () =
       Test_sql_extra.suite;
       Test_equivalence.suite;
       Test_netsim.suite;
+      Test_exec.suite;
     ]

@@ -205,6 +205,27 @@ let test_equal_modulo_order () =
   let r2 = Relation.make [ "A" ] [ [ ("A", v_i 2) ]; [ ("A", v_i 1) ] ] in
   check bool_t "order-insensitive equal" true (Relation.equal r1 r2)
 
+(* Streaming interface: the row sequences the cursor executor is
+   built on must round-trip losslessly through a relation. *)
+
+let test_seq_roundtrip () =
+  let back = Relation.of_seq (Relation.attrs people) (Relation.to_seq people) in
+  check bool_t "of_seq ∘ to_seq = id" true (Relation.equal people back)
+
+let test_of_seq_empty_keeps_header () =
+  let r = Relation.of_seq [ "A"; "B" ] Seq.empty in
+  check int_t "no rows" 0 (Relation.cardinality r);
+  check bool_t "header kept" true (Relation.has_attr r "B")
+
+let test_row_batches () =
+  let batches = List.of_seq (Relation.row_batches 2 people) in
+  check int_t "3 rows in batches of 2" 2 (List.length batches);
+  check bool_t "every batch non-empty and within size" true
+    (List.for_all (fun b -> b <> [] && List.length b <= 2) batches);
+  let back = Relation.of_seq (Relation.attrs people) (List.to_seq (List.concat batches)) in
+  check bool_t "concatenated batches rebuild the relation" true
+    (Relation.equal people back)
+
 (* Properties. *)
 
 let small_rel_gen =
@@ -263,6 +284,9 @@ let suite =
       Alcotest.test_case "unnest expect" `Quick test_unnest_expect_keeps_header;
       Alcotest.test_case "cross" `Quick test_cross;
       Alcotest.test_case "equal modulo order" `Quick test_equal_modulo_order;
+      Alcotest.test_case "seq roundtrip" `Quick test_seq_roundtrip;
+      Alcotest.test_case "of_seq empty header" `Quick test_of_seq_empty_keeps_header;
+      Alcotest.test_case "row batches" `Quick test_row_batches;
       QCheck_alcotest.to_alcotest prop_distinct_idempotent;
       QCheck_alcotest.to_alcotest prop_project_shrinks;
       QCheck_alcotest.to_alcotest prop_join_self_key;
