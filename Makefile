@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-kernel bench-fetch bench-exec examples clean
+.PHONY: build test check ci bench bench-kernel bench-fetch bench-exec bench-server bench-all examples clean
 
 build:
 	dune build @all
@@ -53,6 +53,24 @@ bench-fetch:
 # PRs.
 bench-exec:
 	dune exec bench/main.exe -- exec
+
+# Concurrent server benchmark: workloads of 1/8/64 queries through
+# the cooperative scheduler behind one shared page cache versus each
+# query isolated on its own engine — cross-query GET coalescing ratio,
+# makespan, fairness percentiles, result identity, plus a
+# deadline-under-faults degradation scenario. Writes BENCH_server.json
+# in the current directory; commit it so the trajectory is tracked
+# across PRs.
+bench-server:
+	dune exec bench/main.exe -- server
+
+# Every benchmark that writes a BENCH_*.json.
+bench-all: bench-kernel bench-fetch bench-exec bench-server
+
+# The CI entry point: ./ci.sh (strict gate + full test suite under the
+# ci dune profile).
+ci:
+	./ci.sh
 
 examples:
 	dune exec examples/quickstart.exe

@@ -761,10 +761,10 @@ let fetch () =
        (fun (plan_name, scenario, _w, _f, (r : Eval.fetch_report), exact) ->
          [
            plan_name; scenario;
-           string_of_int r.Eval.stats.Websim.Http.gets;
-           string_of_int r.Eval.net.Websim.Fetcher.attempts;
-           string_of_int r.Eval.net.Websim.Fetcher.retries;
-           f1 r.Eval.net.Websim.Fetcher.elapsed_ms;
+           string_of_int r.Eval.fetch.Websim.Fetcher.gets;
+           string_of_int r.Eval.fetch.Websim.Fetcher.attempts;
+           string_of_int r.Eval.fetch.Websim.Fetcher.retries;
+           f1 r.Eval.fetch.Websim.Fetcher.elapsed_ms;
            (if exact then "yes" else "NO");
          ])
        records);
@@ -772,7 +772,7 @@ let fetch () =
     List.find_map
       (fun (p, s, _, _, (r : Eval.fetch_report), _) ->
         if String.equal p plan_name && String.equal s scenario then
-          Some r.Eval.net.Websim.Fetcher.elapsed_ms
+          Some r.Eval.fetch.Websim.Fetcher.elapsed_ms
         else None)
       records
     |> Option.get
@@ -789,10 +789,10 @@ let fetch () =
         "    { \"plan\": %S, \"scenario\": %S, \"window\": %d, \"fault_rate\": %.2f, \
          \"gets\": %d, \"attempts\": %d, \"retries\": %d, \"rows\": %d, \
          \"exact\": %b, \"elapsed_ms\": %.1f }%s\n"
-        plan_name scenario window fault_rate r.Eval.stats.Websim.Http.gets
-        r.Eval.net.Websim.Fetcher.attempts r.Eval.net.Websim.Fetcher.retries
+        plan_name scenario window fault_rate r.Eval.fetch.Websim.Fetcher.gets
+        r.Eval.fetch.Websim.Fetcher.attempts r.Eval.fetch.Websim.Fetcher.retries
         (Adm.Relation.cardinality r.Eval.result)
-        exact r.Eval.net.Websim.Fetcher.elapsed_ms
+        exact r.Eval.fetch.Websim.Fetcher.elapsed_ms
         (if i = List.length records - 1 then "" else ","))
     records;
   Printf.fprintf oc "  ],\n  \"join_speedup_w1_over_w8\": %.2f\n}\n" speedup;
@@ -935,6 +935,154 @@ let exec_bench () =
   Fmt.pr "@.wrote BENCH_exec.json (%d plans)@." (List.length records)
 
 (* ------------------------------------------------------------------ *)
+(* BENCH server: concurrent workloads through the shared cache        *)
+(* ------------------------------------------------------------------ *)
+
+(* Workload sizes 1/8/64 over the university site, all traffic on a
+   seeded latency model (no faults) so makespan and fairness are
+   meaningful. For each size the workload runs twice: every query
+   isolated on its own fresh engine (the sum of those GETs is what N
+   independent clients would pay) and concurrently under the
+   scheduler behind one shared cache. The coalescing win is the ratio
+   between the two GET totals; results must stay byte-identical. *)
+let server_bench () =
+  banner "Concurrent server: cross-query coalescing, makespan, fairness";
+  let uni, schema, stats = university_setup Sitegen.University.default_config in
+  let registry = Sitegen.University.view in
+  let site = Sitegen.University.site uni in
+  let net_seed = 42 in
+  let netmodel () =
+    Websim.Netmodel.create (Websim.Netmodel.config ~seed:net_seed ())
+  in
+  let engine_config = Websim.Fetcher.config ~cache_capacity:8192 ~retries:3 () in
+  let shared () =
+    Server.Shared_cache.create ~config:engine_config ~netmodel:(netmodel ())
+      (Websim.Http.connect site)
+  in
+  let specs_of entries =
+    Server.Sched.plan_workload schema stats registry entries
+  in
+  let isolated (spec : Server.Sched.spec) =
+    let cache = shared () in
+    let source = Server.Shared_cache.source cache ~query:0 schema in
+    let rows = Eval.eval schema source spec.Server.Sched.expr in
+    let r = Server.Shared_cache.report cache in
+    (rows, r.Websim.Fetcher.gets, r.Websim.Fetcher.elapsed_ms)
+  in
+  let sizes = [ 1; 8; 64 ] in
+  let rows_of size =
+    let entries = Server.Workload.generate ~seed:7 ~n:size () in
+    let specs = specs_of entries in
+    let iso = List.map isolated specs in
+    let iso_gets = List.fold_left (fun acc (_, g, _) -> acc + g) 0 iso in
+    let iso_elapsed = List.fold_left (fun acc (_, _, e) -> acc +. e) 0.0 iso in
+    let cache = shared () in
+    let rep =
+      Server.Sched.run Server.Sched.default_config cache schema specs
+    in
+    let identical =
+      List.for_all2
+        (fun (rows, _, _) (r : Server.Sched.result) ->
+          Adm.Relation.equal rows r.Server.Sched.rows)
+        iso rep.Server.Sched.results
+    in
+    let complete =
+      List.for_all
+        (fun (r : Server.Sched.result) ->
+          r.Server.Sched.completeness.Server.Sched.complete)
+        rep.Server.Sched.results
+    in
+    (size, iso_gets, iso_elapsed, rep, identical, complete)
+  in
+  let records = List.map rows_of sizes in
+  print_table
+    [ "queries"; "gets iso"; "gets shared"; "ratio"; "makespan iso"; "makespan";
+      "p50 ms"; "p95 ms"; "identical" ]
+    (List.map
+       (fun (size, iso_gets, iso_elapsed, (rep : Server.Sched.report), identical, _) ->
+         let gets = rep.Server.Sched.fetch.Websim.Fetcher.gets in
+         [
+           string_of_int size; string_of_int iso_gets; string_of_int gets;
+           Fmt.str "%.3f" (float_of_int gets /. float_of_int iso_gets);
+           f1 iso_elapsed; f1 rep.Server.Sched.makespan_ms;
+           f1 rep.Server.Sched.p50_ms; f1 rep.Server.Sched.p95_ms;
+           (if identical then "yes" else "NO");
+         ])
+       records);
+  (* graceful degradation: 10% transient faults and a tight deadline;
+     with retries >= max_consecutive nothing errors out — queries
+     either finish exactly or report a deadline partial *)
+  let deadline_scenario =
+    let entries =
+      Server.Workload.generate ~seed:7 ~n:8 ~deadline_ms:300.0 ()
+    in
+    let specs = specs_of entries in
+    let nm =
+      Websim.Netmodel.create
+        (Websim.Netmodel.config ~seed:net_seed ~fault_rate:0.10
+           ~max_consecutive:2 ())
+    in
+    let cache =
+      Server.Shared_cache.create ~config:engine_config ~netmodel:nm
+        (Websim.Http.connect site)
+    in
+    let rep = Server.Sched.run Server.Sched.default_config cache schema specs in
+    let partials =
+      List.length
+        (List.filter
+           (fun (r : Server.Sched.result) ->
+             r.Server.Sched.completeness.Server.Sched.deadline_hit)
+           rep.Server.Sched.results)
+    in
+    let errors =
+      List.length
+        (List.filter
+           (fun (r : Server.Sched.result) ->
+             (not r.Server.Sched.completeness.Server.Sched.complete)
+             && not r.Server.Sched.completeness.Server.Sched.deadline_hit)
+           rep.Server.Sched.results)
+    in
+    (rep, partials, errors)
+  in
+  let drep, partials, errors = deadline_scenario in
+  Fmt.pr
+    "@.deadline 300 ms at 10%% faults: %d/8 deadline partials, %d errors, \
+     %d retries@."
+    partials errors drep.Server.Sched.fetch.Websim.Fetcher.retries;
+  let oc = open_out "BENCH_server.json" in
+  Printf.fprintf oc "{\n  \"suite\": \"server\",\n  \"results\": [\n";
+  List.iteri
+    (fun i (size, iso_gets, iso_elapsed, (rep : Server.Sched.report), identical, complete) ->
+      let l = rep.Server.Sched.ledger in
+      Printf.fprintf oc
+        "    { \"queries\": %d, \"gets_isolated\": %d, \"gets_shared\": %d, \
+         \"coalescing_ratio\": %.3f,\n\
+        \      \"distinct_urls\": %d, \"sum_per_query_urls\": %d, \
+         \"cross_query_hits\": %d,\n\
+        \      \"makespan_isolated_ms\": %.1f, \"makespan_ms\": %.1f, \
+         \"p50_ms\": %.1f, \"p95_ms\": %.1f,\n\
+        \      \"peak_resident_queries\": %d, \"peak_resident_rows\": %d, \
+         \"identical\": %b, \"complete\": %b }%s\n"
+        size iso_gets rep.Server.Sched.fetch.Websim.Fetcher.gets
+        (float_of_int rep.Server.Sched.fetch.Websim.Fetcher.gets
+        /. float_of_int iso_gets)
+        l.Server.Shared_cache.distinct_gets l.Server.Shared_cache.sum_per_query
+        l.Server.Shared_cache.cross_query_hits iso_elapsed
+        rep.Server.Sched.makespan_ms rep.Server.Sched.p50_ms
+        rep.Server.Sched.p95_ms rep.Server.Sched.peak_resident_queries
+        rep.Server.Sched.peak_resident_rows identical complete
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"deadline_scenario\": { \"queries\": 8, \"deadline_ms\": 300.0, \
+     \"fault_rate\": 0.10, \"retries\": 3,\n\
+    \    \"deadline_partials\": %d, \"errors\": %d, \"wire_retries\": %d }\n}\n"
+    partials errors drep.Server.Sched.fetch.Websim.Fetcher.retries;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_server.json (%d workload sizes)@." (List.length records)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1033,13 +1181,14 @@ let () =
   | [ "kernel" ] -> kernel ()
   | [ "fetch" ] -> fetch ()
   | [ "exec" ] -> exec_bench ()
+  | [ "server" ] -> server_bench ()
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
         | Some f -> f ()
         | None ->
-          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel, fetch, exec)@." name
+          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel, fetch, exec, server)@." name
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names

@@ -9,8 +9,13 @@
      webviews query    [--site ...] [--cap N] "SELECT ..."
      webviews run      [--site ...] [--faults R] [--latency] [--window N]
                        [--retries N] [--limit N] "SELECT ..."
+     webviews serve    [--site ...] [--workload FILE | --queries N]
+                       [--concurrency K] [--quantum N] [--policy rr|priority]
+                       [--deadline MS] [--stale] [--faults R] [--latency]
      webviews matview  [--site ...] "SELECT ..."
-     webviews check    [--site ...] [--cap N] ["SELECT ..." ...]  *)
+     webviews check    [--site ...] [--cap N] ["SELECT ..." ...]
+
+   webviews --version prints the release. *)
 
 open Cmdliner
 open Webviews
@@ -434,12 +439,169 @@ let check_cmd =
           $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg
           $ sqls_arg)
 
+let serve_cmd =
+  let run workload n wseed concurrency quantum policy deadline faults latency
+      window retries net_seed use_stale max_resident site_kind loaded =
+    let entries =
+      match workload with
+      | Some path -> Server.Workload.load path
+      | None ->
+        let templates =
+          match site_kind with
+          | University -> Server.Workload.university_templates
+          | Bibliography -> Server.Workload.bibliography_templates
+          | Catalog -> Server.Workload.catalog_templates
+        in
+        Server.Workload.generate ~templates ~seed:wseed ~n ()
+    in
+    let entries =
+      match deadline with
+      | None -> entries
+      | Some _ ->
+        List.map (fun (e : Server.Workload.entry) ->
+            match e.Server.Workload.deadline_ms with
+            | Some _ -> e
+            | None -> { e with Server.Workload.deadline_ms = deadline })
+          entries
+    in
+    if loaded.registry = [] then Fmt.epr "this site has no external view@."
+    else begin
+      let stats = stats_of loaded in
+      let specs = Server.Sched.plan_workload loaded.schema stats loaded.registry entries in
+      let netmodel =
+        (* deadlines are measured on the simulated clock, which only
+           advances under a netmodel: enable one whenever they matter *)
+        if faults > 0.0 || latency || deadline <> None then
+          Some
+            (Websim.Netmodel.create
+               (Websim.Netmodel.config ~seed:net_seed ~fault_rate:faults ()))
+        else None
+      in
+      let cache =
+        Server.Shared_cache.create
+          ~config:(Websim.Fetcher.config ~window ~retries ~cache_capacity:8192 ())
+          ?netmodel
+          (Websim.Http.connect loaded.site)
+      in
+      let stale =
+        if use_stale then
+          Some (Matview.materialize loaded.schema (Websim.Http.connect loaded.site))
+        else None
+      in
+      let config =
+        Server.Sched.config ~concurrency ~quantum ~policy
+          ~max_resident_rows:max_resident ()
+      in
+      let report = Server.Sched.run ?stale config cache loaded.schema specs in
+      Fmt.pr "%d queries, concurrency %d, quantum %d@.@." (List.length specs)
+        concurrency quantum;
+      Fmt.pr "%a@." Server.Sched.pp_report report
+    end
+  in
+  let workload_arg =
+    Arg.(value & opt (some file) None & info [ "workload" ] ~docv:"FILE"
+           ~doc:"Workload file: one SQL query per line, blank lines and \
+                 $(b,#) comments skipped, optional $(b,PRIO|) priority \
+                 prefix. Without it a seeded workload is generated from the \
+                 site's template pool.")
+  in
+  let n_arg =
+    Arg.(value & opt int 8 & info [ "queries" ] ~docv:"N"
+           ~doc:"Size of the generated workload (ignored with $(b,--workload)).")
+  in
+  let wseed_arg =
+    Arg.(value & opt int 7 & info [ "workload-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the workload generator.")
+  in
+  let concurrency_arg =
+    Arg.(value & opt int 8 & info [ "concurrency" ] ~docv:"K"
+           ~doc:"Resident-query cap (admission control).")
+  in
+  let quantum_arg =
+    Arg.(value & opt int 4 & info [ "quantum" ] ~docv:"N"
+           ~doc:"Cursor steps one query runs per scheduler turn.")
+  in
+  let policy_conv =
+    let parse = function
+      | "rr" | "round-robin" -> Ok Server.Sched.Round_robin
+      | "priority" -> Ok Server.Sched.Priority
+      | s -> Error (`Msg (Fmt.str "unknown policy %S (rr|priority)" s))
+    in
+    let print ppf = function
+      | Server.Sched.Round_robin -> Fmt.string ppf "rr"
+      | Server.Sched.Priority -> Fmt.string ppf "priority"
+    in
+    Arg.conv (parse, print)
+  in
+  let policy_arg =
+    Arg.(value & opt policy_conv Server.Sched.Round_robin
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Scheduling policy: $(b,rr) or $(b,priority).")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS"
+           ~doc:"Per-query budget of simulated milliseconds. A query past it \
+                 returns its partial rows with a completeness report instead \
+                 of failing. Implies a latency model.")
+  in
+  let faults_arg =
+    Arg.(value & opt float 0.0 & info [ "faults" ] ~docv:"RATE"
+           ~doc:"Transient-failure probability per URL of the simulated \
+                 network shared by all queries.")
+  in
+  let latency_arg =
+    Arg.(value & flag & info [ "latency" ]
+           ~doc:"Simulate per-request latency so makespan and fairness \
+                 percentiles are meaningful.")
+  in
+  let window_arg =
+    Arg.(value & opt int 8 & info [ "window" ] ~docv:"N"
+           ~doc:"In-flight width of a navigation's fetch batch.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+           ~doc:"Extra attempts after a failed exchange.")
+  in
+  let net_seed_arg =
+    Arg.(value & opt int 42 & info [ "net-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the network model.")
+  in
+  let stale_arg =
+    Arg.(value & flag & info [ "stale" ]
+           ~doc:"Materialize the site first and serve stale stored tuples \
+                 when a page is unreachable (graceful degradation).")
+  in
+  let max_resident_arg =
+    Arg.(value & opt int 100_000 & info [ "max-resident" ] ~docv:"ROWS"
+           ~doc:"Stop admitting queries while resident ones buffer more \
+                 rows than this.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a workload of queries concurrently: a deterministic cooperative \
+          scheduler interleaves their cursors in batch-sized quanta over one \
+          shared page cache, so overlapping navigations hit the network once. \
+          Reports per-query results and completeness, the cross-query \
+          coalescing ledger, makespan and fairness percentiles.")
+    Term.(const (fun site depts profs courses seed workload n wseed concurrency
+                     quantum policy deadline faults latency window retries
+                     net_seed use_stale max_resident ->
+              with_site
+                (run workload n wseed concurrency quantum policy deadline faults
+                   latency window retries net_seed use_stale max_resident site)
+                site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg
+          $ workload_arg $ n_arg $ wseed_arg $ concurrency_arg $ quantum_arg
+          $ policy_arg $ deadline_arg $ faults_arg $ latency_arg $ window_arg
+          $ retries_arg $ net_seed_arg $ stale_arg $ max_resident_arg)
+
 let main_cmd =
   let doc = "Efficient queries over web views (EDBT 1998 reproduction)" in
-  Cmd.group (Cmd.info "webviews" ~doc)
+  Cmd.group (Cmd.info "webviews" ~doc ~version:"0.5.0")
     [
       scheme_cmd; crawl_cmd; plan_cmd; explain_cmd; query_cmd; run_cmd;
-      matview_cmd; navigations_cmd; discover_cmd; check_cmd;
+      serve_cmd; matview_cmd; navigations_cmd; discover_cmd; check_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

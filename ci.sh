@@ -1,0 +1,19 @@
+#!/bin/sh
+# CI gate: warning-strict build and the full test suite under the ci
+# dune profile, then the static analyzer over every generated site via
+# `make check` (which itself runs the ci-profile build and tests, so a
+# plain `./ci.sh` is the one command a CI job needs).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build (ci profile) =="
+dune build --profile ci @all
+
+echo "== dune runtest (ci profile) =="
+dune runtest --profile ci
+
+echo "== make check (static analyzer) =="
+make check
+
+echo "== ci: all green =="

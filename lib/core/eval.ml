@@ -152,24 +152,17 @@ let eval_counted ?limit schema http source e =
   let after = Websim.Http.snapshot http in
   (result, Websim.Http.diff ~before ~after)
 
-(* Evaluate through the fetch engine and report both cost ledgers:
-   the paper's page-access stats and the runtime's counters (attempts,
-   retries, cache traffic, simulated elapsed time). *)
+(* Evaluate through the fetch engine and report the merged cost
+   ledger: the paper's page accesses and the runtime's fetch work
+   (attempts, retries, cache traffic, simulated elapsed time) in one
+   record, scoped to this evaluation as a delta. *)
 type fetch_report = {
   result : Adm.Relation.t;
-  stats : Websim.Http.stats; (* network accesses, as a delta *)
-  net : Websim.Fetcher.counters; (* fetch-engine work, as a delta *)
+  fetch : Websim.Fetcher.report; (* merged cost ledger, as a delta *)
 }
 
 let eval_fetched ?limit schema (fetcher : Websim.Fetcher.t) e =
-  let http = Websim.Fetcher.http fetcher in
-  let before = Websim.Http.snapshot http in
-  let net_before = Websim.Fetcher.counters_snapshot (Websim.Fetcher.counters fetcher) in
+  let before = Websim.Fetcher.report fetcher in
   let result = eval ?limit schema (fetcher_source schema fetcher) e in
-  let after = Websim.Http.snapshot http in
-  let net_after = Websim.Fetcher.counters_snapshot (Websim.Fetcher.counters fetcher) in
-  {
-    result;
-    stats = Websim.Http.diff ~before ~after;
-    net = Websim.Fetcher.counters_diff ~before:net_before ~after:net_after;
-  }
+  let after = Websim.Fetcher.report fetcher in
+  { result; fetch = Websim.Fetcher.report_diff ~before ~after }

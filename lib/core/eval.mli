@@ -58,12 +58,14 @@ val eval_counted :
 
 type fetch_report = {
   result : Adm.Relation.t;
-  stats : Websim.Http.stats;  (** network accesses, as a delta *)
-  net : Websim.Fetcher.counters;  (** fetch-engine work, as a delta *)
+  fetch : Websim.Fetcher.report;
+      (** merged cost ledger — page accesses and fetch-engine work —
+          scoped to this evaluation as a delta *)
 }
 
 val eval_fetched :
   ?limit:int -> Adm.Schema.t -> Websim.Fetcher.t -> Nalg.expr -> fetch_report
-(** Evaluate through the fetch engine and report both cost ledgers —
-    page accesses and runtime counters (attempts, retries, cache
-    traffic, simulated elapsed milliseconds). *)
+(** Evaluate through the fetch engine and report the merged cost
+    ledger ({!Websim.Fetcher.report}): page accesses and runtime
+    counters (attempts, retries, cache traffic, simulated elapsed
+    milliseconds) in one record. *)

@@ -472,30 +472,79 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: tl -> x :: take (n - 1) tl
 
-let run_metrics ?limit (schema : Adm.Schema.t) (source : source)
-    (plan : Physplan.plan) : Adm.Relation.t * metrics =
+(* ------------------------------------------------------------------ *)
+(* Resumable runs: the step API                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A run is a compiled cursor tree plus the rows pulled from it so
+   far. [step] pulls exactly one root batch, so a cooperative
+   scheduler can interleave many runs in batch-sized quanta: between
+   two steps a run holds no control state beyond its cursors, and a
+   run abandoned mid-way is simply dropped (its partial rows remain
+   readable through [snapshot]). *)
+type run = {
+  r_root : cursor;
+  r_metrics : metrics;
+  r_limit : int option;
+  mutable r_buf : Adm.Relation.row list; (* newest first *)
+  mutable r_count : int;
+  mutable r_done : bool;
+}
+
+type progress = [ `Pulled of int | `Done ]
+
+let start ?limit (schema : Adm.Schema.t) (source : source)
+    (plan : Physplan.plan) : run =
   let metrics = fresh_metrics plan in
   let root = compile schema source metrics plan in
-  let buf = ref [] in
-  let count = ref 0 in
-  let enough () = match limit with Some l -> !count >= l | None -> false in
-  let rec pull () =
-    if enough () then metrics.exhausted <- false
+  { r_root = root; r_metrics = metrics; r_limit = limit; r_buf = [];
+    r_count = 0; r_done = false }
+
+let finished r = r.r_done
+let metrics_of r = r.r_metrics
+
+let buffered_rows r =
+  match r.r_limit with Some l -> min l r.r_count | None -> r.r_count
+
+let step (r : run) : progress =
+  if r.r_done then `Done
+  else begin
+    let enough =
+      match r.r_limit with Some l -> r.r_count >= l | None -> false
+    in
+    if enough then begin
+      r.r_metrics.exhausted <- false;
+      r.r_done <- true;
+      `Done
+    end
     else
-      match root.next () with
-      | None -> metrics.exhausted <- true
+      match r.r_root.next () with
+      | None ->
+        r.r_metrics.exhausted <- true;
+        r.r_done <- true;
+        `Done
       | Some batch ->
-        List.iter
-          (fun row ->
-            incr count;
-            buf := row :: !buf)
-          batch;
-        pull ()
-  in
-  pull ();
-  let rows = List.rev !buf in
-  let rows = match limit with Some l -> take l rows | None -> rows in
-  metrics.result_rows <- List.length rows;
-  (Adm.Relation.of_seq root.attrs (List.to_seq rows), metrics)
+        let n = List.length batch in
+        List.iter (fun row -> r.r_buf <- row :: r.r_buf) batch;
+        r.r_count <- r.r_count + n;
+        `Pulled n
+  end
+
+let snapshot (r : run) : Adm.Relation.t =
+  let rows = List.rev r.r_buf in
+  let rows = match r.r_limit with Some l -> take l rows | None -> rows in
+  r.r_metrics.result_rows <- List.length rows;
+  Adm.Relation.of_seq r.r_root.attrs (List.to_seq rows)
+
+(* ------------------------------------------------------------------ *)
+(* Running a plan to completion                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_metrics ?limit (schema : Adm.Schema.t) (source : source)
+    (plan : Physplan.plan) : Adm.Relation.t * metrics =
+  let r = start ?limit schema source plan in
+  let rec drive () = match step r with `Pulled _ -> drive () | `Done -> () in
+  drive ();
+  (snapshot r, metrics_of r)
 
 let run ?limit schema source plan = fst (run_metrics ?limit schema source plan)

@@ -53,6 +53,43 @@ val run_metrics :
   Adm.Relation.t * metrics
 (** {!run} plus the per-operator and pipeline counters. *)
 
+(** {1 Resumable runs}
+
+    The step API a cooperative scheduler drives: [start] compiles the
+    plan, each [step] pulls exactly one batch from the root cursor,
+    and [snapshot] materializes whatever has been pulled so far — so N
+    queries can interleave in batch-sized quanta, and a query stopped
+    early (deadline, admission revoked) still yields its partial
+    rows. [run]/[run_metrics] are [start] driven to [`Done]. *)
+
+type run
+
+type progress = [ `Pulled of int  (** rows in the batch just pulled *)
+                | `Done ]
+
+val start : ?limit:int -> Adm.Schema.t -> source -> Physplan.plan -> run
+(** Compile the plan into a paused run; no rows are pulled yet. *)
+
+val step : run -> progress
+(** Pull one batch from the root cursor. Returns [`Done] once the
+    cursor is exhausted or the limit is reached; further calls keep
+    returning [`Done]. *)
+
+val finished : run -> bool
+(** [true] once [step] has returned [`Done]. *)
+
+val buffered_rows : run -> int
+(** Rows pulled so far (capped at the limit) — the run's contribution
+    to a scheduler's resident-rows budget. *)
+
+val snapshot : run -> Adm.Relation.t
+(** The rows pulled so far as a relation. Partial unless
+    [finished]; the full result (identical to {!run}) once done. *)
+
+val metrics_of : run -> metrics
+(** The run's live counters. [metrics.exhausted] is meaningful only
+    once [finished]; [metrics.result_rows] is set by [snapshot]. *)
+
 (** {1 Page-scheme helpers}
 
     Shared with the legacy evaluator in {!Eval}. *)

@@ -202,14 +202,12 @@ let pp_outcome ppf (o : Planner.outcome) =
   | [] -> ()
   | ds -> Fmt.pf ppf " (%s)" (Diagnostic.summary ds)
 
-(* Runtime report of an evaluation through the fetch engine: both
-   cost ledgers side by side — the paper's page accesses and the
-   runtime's fetch work — plus the simulated elapsed time. *)
+(* Runtime report of an evaluation through the fetch engine: the
+   merged cost ledger — page accesses and fetch work in one record. *)
 let pp_fetch_report ppf (r : Eval.fetch_report) =
-  Fmt.pf ppf "@[<v>rows:     %d@,accesses: %a@,fetch:    %a@,elapsed:  %.1f ms@]"
+  Fmt.pf ppf "@[<v>rows: %d@,%a@]"
     (Adm.Relation.cardinality r.Eval.result)
-    Websim.Http.pp_stats r.Eval.stats Websim.Fetcher.pp_counters r.Eval.net
-    r.Eval.net.Websim.Fetcher.elapsed_ms
+    Websim.Fetcher.pp_report r.Eval.fetch
 
 (* Tabulate all candidates with their costs. *)
 let pp_candidates ppf (o : Planner.outcome) =

@@ -40,6 +40,6 @@ val pp_outcome : Planner.outcome Fmt.t
 val pp_candidates : Planner.outcome Fmt.t
 
 val pp_fetch_report : Eval.fetch_report Fmt.t
-(** Both cost ledgers of an evaluation through the fetch engine —
-    page accesses and runtime fetch counters — plus the simulated
-    elapsed time. *)
+(** The merged cost ledger of an evaluation through the fetch engine —
+    page accesses and runtime fetch counters in one record, plus the
+    simulated elapsed time. *)

@@ -1,0 +1,388 @@
+(* The cooperative multi-query scheduler.
+
+   N admitted queries interleave as steps over the pull-based cursors
+   of {!Webviews.Exec}: one scheduler turn gives one query a quantum
+   of [Exec.step] calls, each pulling one batch from its root cursor
+   (and fetching whatever pages that batch needs, through the shared
+   cache). There is no preemption inside a step — a cursor between two
+   steps holds no control state — so the whole interleaving is a
+   deterministic function of the workload, the config and the
+   netmodel seed: no wall-clock reads, no OS threads, no races.
+
+   Time is the simulated clock of the shared fetch engine, which only
+   advances when someone touches the network. Deadlines are checked
+   against it before every step; a query past its deadline is
+   finalized with whatever rows it has pulled (graceful degradation,
+   not an error). The same degradation path serves circuit-open
+   periods: when the shared engine's breaker fast-fails a page and a
+   materialized store is available, the query uses the stale stored
+   tuple and the staleness is counted in its completeness report. *)
+
+type policy = Round_robin | Priority
+
+type config = {
+  concurrency : int; (* resident-query cap *)
+  quantum : int; (* Exec.step calls per scheduler turn *)
+  policy : policy;
+  max_resident_rows : int; (* admission-control row budget *)
+}
+
+let config ?(concurrency = 8) ?(quantum = 4) ?(policy = Round_robin)
+    ?(max_resident_rows = 100_000) () =
+  if concurrency < 1 then invalid_arg "Sched.config: concurrency < 1";
+  if quantum < 1 then invalid_arg "Sched.config: quantum < 1";
+  { concurrency; quantum; policy; max_resident_rows }
+
+let default_config = config ()
+
+type spec = {
+  qid : int;
+  label : string;
+  expr : Webviews.Nalg.expr;
+  priority : int;
+  deadline_ms : float option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Planning a workload into specs                                      *)
+(* ------------------------------------------------------------------ *)
+
+let plan_workload (schema : Adm.Schema.t) (stats : Webviews.Stats.t)
+    (registry : Webviews.View.registry) (entries : Workload.entry list) :
+    spec list =
+  List.mapi
+    (fun i (e : Workload.entry) ->
+      let outcome = Webviews.Planner.plan_sql schema stats registry e.Workload.sql in
+      {
+        qid = i;
+        label = e.Workload.sql;
+        expr = outcome.Webviews.Planner.best.Webviews.Planner.expr;
+        priority = e.Workload.priority;
+        deadline_ms = e.Workload.deadline_ms;
+      })
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* Jobs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type completeness = {
+  complete : bool;
+      (** exhausted its cursor with no deadline cut, no stale serves
+          and no pages lost — the result is the full fresh answer *)
+  deadline_hit : bool;
+  stale_pages : int; (* pages served from the materialized store *)
+  missing_pages : int; (* pages neither fetchable nor stored *)
+}
+
+type result = {
+  qid : int;
+  label : string;
+  rows : Adm.Relation.t;
+  completeness : completeness;
+  elapsed_ms : float; (* simulated: finalized - admitted *)
+  steps : int;
+}
+
+(* Streamable plans run on the resumable cursor API; the rare
+   non-streamable expression falls back to the materializing evaluator
+   as a single indivisible step (it cannot yield mid-way, so it also
+   cannot honor a deadline mid-way — documented degradation). *)
+type engine =
+  | Streaming of Webviews.Exec.run
+  | Eager of Webviews.Nalg.expr
+  | Eager_done of Adm.Relation.t
+
+type job = {
+  spec : spec;
+  source : Webviews.Eval.source;
+  mutable engine : engine;
+  mutable last_turn : int; (* scheduler turn this job last ran in *)
+  mutable steps : int;
+  mutable stale_pages : int;
+  mutable missing_pages : int;
+  mutable admitted_ms : float;
+}
+
+let job_finished j =
+  match j.engine with
+  | Streaming r -> Webviews.Exec.finished r
+  | Eager _ -> false
+  | Eager_done _ -> true
+
+let job_buffered j =
+  match j.engine with
+  | Streaming r -> Webviews.Exec.buffered_rows r
+  | Eager _ -> 0
+  | Eager_done r -> Adm.Relation.cardinality r
+
+(* One cooperative step. *)
+let job_step (schema : Adm.Schema.t) j =
+  j.steps <- j.steps + 1;
+  match j.engine with
+  | Streaming r -> ignore (Webviews.Exec.step r)
+  | Eager e ->
+    j.engine <- Eager_done (Webviews.Eval.eval_legacy schema j.source e)
+  | Eager_done _ -> ()
+
+let job_rows j =
+  match j.engine with
+  | Streaming r -> Webviews.Exec.snapshot r
+  | Eager _ -> Adm.Relation.empty []
+  | Eager_done r -> r
+
+(* The per-query page source: the shared cache with this query's
+   identity attached, degraded to the materialized store's stale tuple
+   when the network (or the open breaker) makes a page unreachable. *)
+let job_source cache ~qid ?stale (schema : Adm.Schema.t) counters :
+    Webviews.Eval.source =
+  let stale_count, missing_count = counters in
+  let fetch ~scheme ~url =
+    match Shared_cache.get cache ~query:qid url with
+    | Websim.Fetcher.Fetched page ->
+      let ps = Adm.Schema.find_scheme_exn schema scheme in
+      Some (Websim.Wrapper.extract ps ~url page.Websim.Fetcher.body)
+    | Websim.Fetcher.Absent ->
+      incr missing_count;
+      None
+    | Websim.Fetcher.Unreachable -> (
+      match stale with
+      | None ->
+        incr missing_count;
+        None
+      | Some store -> (
+        match Webviews.Matview.stored_tuple store ~scheme ~url with
+        | Some tuple ->
+          incr stale_count;
+          Some tuple
+        | None ->
+          incr missing_count;
+          None))
+  in
+  {
+    Webviews.Eval.fetch;
+    prefetch = (fun urls -> Shared_cache.prefetch cache ~query:qid urls);
+    describe = Fmt.str "shared/q%d" qid;
+    window = Websim.Fetcher.window (Shared_cache.fetcher cache);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The report                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  results : result list; (* in qid order *)
+  ledger : Shared_cache.ledger;
+  fetch : Websim.Fetcher.report; (* shared-engine work, as a delta *)
+  makespan_ms : float;
+  p50_ms : float; (* per-query elapsed percentiles *)
+  p95_ms : float;
+  peak_resident_queries : int;
+  peak_resident_rows : int;
+  turns : int;
+}
+
+(* Nearest-rank percentile over a non-empty sample. *)
+let percentile q xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    arr.(max 0 (min (n - 1) (rank - 1)))
+
+(* ------------------------------------------------------------------ *)
+(* The scheduler loop                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run ?stale (cfg : config) (cache : Shared_cache.t)
+    (schema : Adm.Schema.t) (specs : spec list) : report =
+  let fetcher = Shared_cache.fetcher cache in
+  let now () = Websim.Fetcher.now_ms fetcher in
+  let fetch_before = Shared_cache.report cache in
+  let started_ms = now () in
+  let pending = Queue.create () in
+  List.iter (fun s -> Queue.add s pending) specs;
+  (* Each resident entry carries the job and the counter cells its
+     page source writes stale/missing tallies into. *)
+  let resident : (job * int ref * int ref) list ref = ref [] in
+  let finished : result list ref = ref [] in
+  let turn = ref 0 in
+  let peak_queries = ref 0 in
+  let peak_rows = ref 0 in
+  let finalize ((j, stale_c, missing_c) : job * int ref * int ref)
+      ~deadline_hit =
+    j.stale_pages <- !stale_c;
+    j.missing_pages <- !missing_c;
+    let rows = job_rows j in
+    let exhausted =
+      match j.engine with
+      | Streaming r -> Webviews.Exec.finished r && (Webviews.Exec.metrics_of r).Webviews.Exec.exhausted
+      | Eager _ -> false
+      | Eager_done _ -> true
+    in
+    let completeness =
+      {
+        complete =
+          exhausted && (not deadline_hit) && j.stale_pages = 0
+          && j.missing_pages = 0;
+        deadline_hit;
+        stale_pages = j.stale_pages;
+        missing_pages = j.missing_pages;
+      }
+    in
+    finished :=
+      {
+        qid = j.spec.qid;
+        label = j.spec.label;
+        rows;
+        completeness;
+        elapsed_ms = now () -. j.admitted_ms;
+        steps = j.steps;
+      }
+      :: !finished
+  in
+  let deadline_passed j =
+    match j.spec.deadline_ms with
+    | None -> false
+    | Some d -> now () -. j.admitted_ms >= d
+  in
+  let pick () =
+    (* One comparator serves both policies: priority is flattened to a
+       constant under round-robin, and the (last_turn, qid) tail gives
+       the rotation and the deterministic tie-break. *)
+    let weight j = match cfg.policy with Round_robin -> 0 | Priority -> j.spec.priority in
+    match !resident with
+    | [] -> None
+    | jobs ->
+      Some
+        (List.fold_left
+           (fun best cand ->
+             let (bj, _, _) = best and (cj, _, _) = cand in
+             let cmp =
+               match compare (weight bj) (weight cj) with
+               | 0 -> (
+                 match compare cj.last_turn bj.last_turn with
+                 | 0 -> compare cj.spec.qid bj.spec.qid
+                 | c -> c)
+               | c -> c
+             in
+             if cmp > 0 then best else cand)
+           (List.hd jobs) (List.tl jobs))
+  in
+  let remove (j, _, _) =
+    resident := List.filter (fun (j', _, _) -> j' != j) !resident
+  in
+  let admit () =
+    while
+      (not (Queue.is_empty pending))
+      && List.length !resident < cfg.concurrency
+      && (!resident = []
+         || List.fold_left (fun acc (j, _, _) -> acc + job_buffered j) 0 !resident
+            <= cfg.max_resident_rows)
+    do
+      let spec = Queue.pop pending in
+      let stale_c = ref 0 and missing_c = ref 0 in
+      let source = job_source cache ~qid:spec.qid ?stale schema (stale_c, missing_c) in
+      let engine =
+        match
+          Webviews.Physplan.lower ~window:source.Webviews.Eval.window schema
+            spec.expr
+        with
+        | plan -> Streaming (Webviews.Exec.start schema source plan)
+        | exception Webviews.Physplan.Not_streamable _ -> Eager spec.expr
+      in
+      let job =
+        {
+          spec;
+          source;
+          engine;
+          last_turn = -1;
+          steps = 0;
+          stale_pages = 0;
+          missing_pages = 0;
+          admitted_ms = now ();
+        }
+      in
+      resident := !resident @ [ (job, stale_c, missing_c) ]
+    done
+  in
+  let rec loop () =
+    admit ();
+    peak_queries := max !peak_queries (List.length !resident);
+    match pick () with
+    | None -> ()
+    | Some ((j, _, _) as entry) ->
+      incr turn;
+      j.last_turn <- !turn;
+      if deadline_passed j then begin
+        finalize entry ~deadline_hit:true;
+        remove entry
+      end
+      else begin
+        let k = ref cfg.quantum in
+        while !k > 0 && (not (job_finished j)) && not (deadline_passed j) do
+          job_step schema j;
+          decr k
+        done;
+        peak_rows :=
+          max !peak_rows
+            (List.fold_left (fun acc (j', _, _) -> acc + job_buffered j') 0 !resident);
+        if job_finished j then begin
+          finalize entry ~deadline_hit:false;
+          remove entry
+        end
+        else if deadline_passed j then begin
+          finalize entry ~deadline_hit:true;
+          remove entry
+        end
+      end;
+      loop ()
+  in
+  loop ();
+  let results =
+    List.sort (fun a b -> compare a.qid b.qid) !finished
+  in
+  let elapsed = List.map (fun r -> r.elapsed_ms) results in
+  {
+    results;
+    ledger = Shared_cache.ledger cache;
+    fetch =
+      Websim.Fetcher.report_diff ~before:fetch_before
+        ~after:(Shared_cache.report cache);
+    makespan_ms = now () -. started_ms;
+    p50_ms = percentile 0.50 elapsed;
+    p95_ms = percentile 0.95 elapsed;
+    peak_resident_queries = !peak_queries;
+    peak_resident_rows = !peak_rows;
+    turns = !turn;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Printers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_completeness ppf c =
+  if c.complete then Fmt.string ppf "complete"
+  else
+    Fmt.pf ppf "partial (%s%d stale, %d missing)"
+      (if c.deadline_hit then "deadline, " else "")
+      c.stale_pages c.missing_pages
+
+let pp_result ppf r =
+  Fmt.pf ppf "q%-3d %4d rows  %8.1f ms  %2d steps  %a  %s" r.qid
+    (Adm.Relation.cardinality r.rows)
+    r.elapsed_ms r.steps pp_completeness r.completeness
+    (if String.length r.label > 56 then String.sub r.label 0 53 ^ "..."
+     else r.label)
+
+let pp_report ppf rep =
+  Fmt.pf ppf
+    "@[<v>%a@,@,%a@,@,makespan: %.1f ms  per-query p50: %.1f ms  p95: %.1f ms@,\
+     peak resident: %d queries, %d rows  (%d scheduler turns)@,@,%a@]"
+    (Fmt.list ~sep:Fmt.cut pp_result)
+    rep.results Shared_cache.pp_ledger rep.ledger rep.makespan_ms rep.p50_ms
+    rep.p95_ms rep.peak_resident_queries rep.peak_resident_rows rep.turns
+    Websim.Fetcher.pp_report rep.fetch

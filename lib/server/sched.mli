@@ -1,0 +1,94 @@
+(** The cooperative multi-query scheduler of the concurrent server.
+
+    Admitted queries interleave as batch-sized quanta over the
+    resumable cursors of {!Webviews.Exec}, all fetching through one
+    {!Shared_cache}. The interleaving is a deterministic function of
+    the workload, the config and the netmodel seed — no wall-clock
+    reads, no OS threads — so every run replays exactly.
+
+    Time is the simulated clock of the shared fetch engine (it only
+    advances on network activity; without a netmodel it stays at 0 and
+    deadlines never fire). A query past its deadline is finalized with
+    the rows it has pulled so far — graceful degradation, not an
+    error — and when the network (or the open circuit breaker) makes a
+    page unreachable, a materialized store passed as [stale] serves
+    the stored tuple instead, with the staleness counted in the
+    query's completeness report. *)
+
+type policy =
+  | Round_robin  (** rotate through residents in admission order *)
+  | Priority  (** highest [spec.priority] first, round-robin within *)
+
+type config = {
+  concurrency : int;  (** resident-query cap (admission control) *)
+  quantum : int;  (** [Exec.step] calls per scheduler turn *)
+  policy : policy;
+  max_resident_rows : int;
+      (** stop admitting while residents buffer more rows than this *)
+}
+
+val config :
+  ?concurrency:int -> ?quantum:int -> ?policy:policy ->
+  ?max_resident_rows:int -> unit -> config
+(** Defaults: 8 residents, quantum 4, round-robin, 100k rows. *)
+
+val default_config : config
+
+type spec = {
+  qid : int;  (** dense, unique; results are reported in qid order *)
+  label : string;  (** usually the SQL text *)
+  expr : Webviews.Nalg.expr;  (** the plan to run (typically the planner's best) *)
+  priority : int;
+  deadline_ms : float option;  (** budget of simulated ms, admission-relative *)
+}
+
+val plan_workload :
+  Adm.Schema.t -> Webviews.Stats.t -> Webviews.View.registry ->
+  Workload.entry list -> spec list
+(** Plan each workload entry with {!Webviews.Planner.plan_sql} and
+    number the specs in order. *)
+
+type completeness = {
+  complete : bool;
+      (** cursor exhausted with no deadline cut, no stale serves and
+          no pages lost — the result is the full fresh answer *)
+  deadline_hit : bool;
+  stale_pages : int;  (** pages served from the materialized store *)
+  missing_pages : int;  (** pages neither fetchable nor stored *)
+}
+
+type result = {
+  qid : int;
+  label : string;
+  rows : Adm.Relation.t;  (** partial unless [completeness.complete] *)
+  completeness : completeness;
+  elapsed_ms : float;  (** simulated, admission to finalization *)
+  steps : int;
+}
+
+type report = {
+  results : result list;  (** in qid order *)
+  ledger : Shared_cache.ledger;  (** the cross-query sharing proof *)
+  fetch : Websim.Fetcher.report;  (** shared-engine work, as a delta *)
+  makespan_ms : float;
+  p50_ms : float;  (** per-query elapsed percentiles (fairness) *)
+  p95_ms : float;
+  peak_resident_queries : int;
+  peak_resident_rows : int;
+  turns : int;
+}
+
+val run :
+  ?stale:Webviews.Matview.t ->
+  config -> Shared_cache.t -> Adm.Schema.t -> spec list -> report
+(** Run the workload to completion (every query finishes or hits its
+    deadline). [stale] enables degradation to stored tuples for
+    unreachable pages. The [cache] is not reset: a pre-warmed or
+    reused cache simply yields more sharing, visible in the ledger. *)
+
+val percentile : float -> float list -> float
+(** Nearest-rank percentile; 0.0 on the empty list. *)
+
+val pp_completeness : completeness Fmt.t
+val pp_result : result Fmt.t
+val pp_report : report Fmt.t

@@ -1,0 +1,131 @@
+(* The shared page-cache tier of the concurrent query server.
+
+   All resident queries fetch through one {!Websim.Fetcher.t}, so its
+   LRU is the single-flight table: the first query to need a URL pays
+   the network GET, every later request — from the same query or any
+   other — is a cache hit. What this module adds on top is the
+   accounting that *proves* the sharing: it tracks, per query, the
+   distinct URLs that query requested, and globally the distinct URLs
+   that went to the wire, so the ledger can state
+
+       cross_query_hits = sum_per_query - distinct_gets
+
+   — the number of page fetches the workload saved by running behind
+   one cache instead of one cache per query. The wire set is kept in
+   first-request order, which makes it comparable (sorted) against the
+   union of isolated per-query GET sets in the QCheck property. *)
+
+type t = {
+  fetcher : Websim.Fetcher.t;
+  wire : (string, unit) Hashtbl.t; (* distinct URLs requested overall *)
+  mutable wire_rev : string list; (* same set, newest first *)
+  queries : (int, (string, unit) Hashtbl.t) Hashtbl.t;
+  mutable cross_hits : int;
+}
+
+let wrap fetcher =
+  {
+    fetcher;
+    wire = Hashtbl.create 512;
+    wire_rev = [];
+    queries = Hashtbl.create 16;
+    cross_hits = 0;
+  }
+
+let create ?config ?netmodel http =
+  wrap (Websim.Fetcher.create ?config ?netmodel http)
+
+let fetcher t = t.fetcher
+let report t = Websim.Fetcher.report t.fetcher
+
+let query_set t qid =
+  match Hashtbl.find_opt t.queries qid with
+  | Some set -> set
+  | None ->
+    let set = Hashtbl.create 64 in
+    Hashtbl.replace t.queries qid set;
+    set
+
+(* Record that [query] needs [url]. Distinctness is per query: a query
+   re-requesting its own URL is ordinary cache behaviour, not sharing.
+   A URL another query already put on the wire counts as one
+   cross-query hit for this query. *)
+let note t ~query url =
+  let set = query_set t query in
+  if not (Hashtbl.mem set url) then begin
+    Hashtbl.replace set url ();
+    if Hashtbl.mem t.wire url then t.cross_hits <- t.cross_hits + 1
+    else begin
+      Hashtbl.replace t.wire url ();
+      t.wire_rev <- url :: t.wire_rev
+    end
+  end
+
+let get t ~query url =
+  note t ~query url;
+  Websim.Fetcher.get t.fetcher url
+
+let prefetch t ~query urls =
+  List.iter (note t ~query) urls;
+  Websim.Fetcher.prefetch t.fetcher urls
+
+(* The per-query page source: same wrapper protocol as
+   [Eval.fetcher_source], routed through the shared engine with the
+   query's identity attached for the ledger. *)
+let source t ~query (schema : Adm.Schema.t) : Webviews.Eval.source =
+  let fetch ~scheme ~url =
+    match get t ~query url with
+    | Websim.Fetcher.Fetched page ->
+      let ps = Adm.Schema.find_scheme_exn schema scheme in
+      Some (Websim.Wrapper.extract ps ~url page.Websim.Fetcher.body)
+    | Websim.Fetcher.Absent | Websim.Fetcher.Unreachable -> None
+  in
+  {
+    Webviews.Eval.fetch;
+    prefetch = (fun urls -> prefetch t ~query urls);
+    describe = Fmt.str "shared/q%d" query;
+    window = Websim.Fetcher.window t.fetcher;
+  }
+
+let distinct_gets t = Hashtbl.length t.wire
+let distinct_get_set t = List.rev t.wire_rev
+
+let query_get_set t ~query =
+  match Hashtbl.find_opt t.queries query with
+  | None -> []
+  | Some set ->
+    Hashtbl.fold (fun url () acc -> url :: acc) set []
+    |> List.sort String.compare
+
+type ledger = {
+  distinct_gets : int;
+  sum_per_query : int;
+  per_query : (int * int) list; (* qid, distinct URLs it requested *)
+  cross_query_hits : int;
+  sharing_ratio : float;
+}
+
+let ledger t =
+  let per_query =
+    Hashtbl.fold (fun qid set acc -> (qid, Hashtbl.length set) :: acc) t.queries []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let sum_per_query = List.fold_left (fun acc (_, n) -> acc + n) 0 per_query in
+  let distinct_gets = Hashtbl.length t.wire in
+  {
+    distinct_gets;
+    sum_per_query;
+    per_query;
+    cross_query_hits = t.cross_hits;
+    sharing_ratio =
+      (if sum_per_query = 0 then 1.0
+       else float_of_int distinct_gets /. float_of_int sum_per_query);
+  }
+
+let pp_ledger ppf l =
+  Fmt.pf ppf
+    "@[<v>distinct URLs on the wire: %d@,\
+     sum of per-query distinct URLs: %d@,\
+     cross-query hits: %d@,\
+     sharing ratio: %.3f (1.000 = no sharing)@]"
+    l.distinct_gets l.sum_per_query l.cross_query_hits l.sharing_ratio

@@ -1,0 +1,62 @@
+(** The shared page-cache tier of the concurrent query server.
+
+    All resident queries fetch through one {!Websim.Fetcher.t}; its
+    LRU is the single-flight table — the first query to need a URL
+    pays the network GET, every later request from any query is a
+    cache hit. This module adds the accounting that proves the
+    sharing: per-query distinct request sets and the global distinct
+    wire set, summarized by the {!ledger} invariant
+
+    {[ cross_query_hits = sum_per_query - distinct_gets ]} *)
+
+type t
+
+val wrap : Websim.Fetcher.t -> t
+(** Share an existing fetch engine. Its cache should be large enough
+    to hold the workload's page set ([cache_capacity]), or sharing
+    degrades to whatever survives eviction. *)
+
+val create :
+  ?config:Websim.Fetcher.config -> ?netmodel:Websim.Netmodel.t ->
+  Websim.Http.t -> t
+(** [wrap] over a fresh fetcher ({!Websim.Fetcher.create}). *)
+
+val fetcher : t -> Websim.Fetcher.t
+
+val report : t -> Websim.Fetcher.report
+(** The shared engine's merged cost ledger (wire + engine). *)
+
+val get : t -> query:int -> string -> Websim.Fetcher.page Websim.Fetcher.fetched
+(** One page download on behalf of [query], recorded in its request
+    set. Single-flight across queries is the shared cache itself. *)
+
+val prefetch : t -> query:int -> string list -> unit
+(** Batch warm-up on behalf of [query] ({!Websim.Fetcher.prefetch}). *)
+
+val source : t -> query:int -> Adm.Schema.t -> Webviews.Eval.source
+(** The page source query [query] evaluates over: same wrapper
+    protocol as [Eval.fetcher_source], routed through the shared
+    engine with the query's identity attached for the ledger. *)
+
+val distinct_gets : t -> int
+(** Distinct URLs requested across all queries — the wire set size. *)
+
+val distinct_get_set : t -> string list
+(** The wire set in first-request order. *)
+
+val query_get_set : t -> query:int -> string list
+(** The distinct URLs [query] requested, sorted. *)
+
+type ledger = {
+  distinct_gets : int;  (** distinct URLs on the wire, all queries *)
+  sum_per_query : int;  (** what isolated execution would have paid *)
+  per_query : (int * int) list;  (** (qid, distinct URLs it requested) *)
+  cross_query_hits : int;
+      (** first-time requests served because {e another} query already
+          fetched the page; always [sum_per_query - distinct_gets] *)
+  sharing_ratio : float;
+      (** [distinct_gets / sum_per_query]; 1.0 = no overlap *)
+}
+
+val ledger : t -> ledger
+val pp_ledger : ledger Fmt.t

@@ -121,6 +121,98 @@ let pp_counters ppf (c : counters) =
     c.cache_evictions c.revalidations c.batches c.coalesced c.breaker_trips
     c.breaker_fastfails c.elapsed_ms
 
+(* ---- the merged fetch report ---- *)
+
+(* Historically the wire ledger ({!Http.stats}) and the engine ledger
+   ([counters]) were reported side by side, and they overlap:
+   [counters.failures] and [Http.stats.failed] count the very same
+   events, and [counters.attempts] is the engine-side view of the
+   wire's GET/HEAD totals. [report] merges both into one record with a
+   single [failed] field; the duplicated per-ledger fields stay for
+   compatibility but are deprecated in favour of this view. *)
+
+type report = {
+  (* wire (what crossed the network, from Http.stats) *)
+  gets : int;
+  heads : int;
+  not_found : int;
+  bytes : int;
+  head_bytes : int;
+  (* engine (what the fetch engine did to get there) *)
+  requests : int;
+  attempts : int;
+  retries : int;
+  failed : int; (* the one truth: exchanges that died on the wire *)
+  gave_up : int;
+  breaker_trips : int;
+  breaker_fastfails : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  revalidations : int;
+  batches : int;
+  coalesced : int;
+  elapsed_ms : float;
+}
+
+let merge_report (s : Http.stats) (c : counters) : report =
+  {
+    gets = s.Http.gets;
+    heads = s.Http.heads;
+    not_found = s.Http.not_found;
+    bytes = s.Http.bytes;
+    head_bytes = s.Http.head_bytes;
+    requests = c.requests;
+    attempts = c.attempts;
+    retries = c.retries;
+    failed = s.Http.failed (* = c.failures: same events, one field *);
+    gave_up = c.gave_up;
+    breaker_trips = c.breaker_trips;
+    breaker_fastfails = c.breaker_fastfails;
+    cache_hits = c.cache_hits;
+    cache_misses = c.cache_misses;
+    cache_evictions = c.cache_evictions;
+    revalidations = c.revalidations;
+    batches = c.batches;
+    coalesced = c.coalesced;
+    elapsed_ms = c.elapsed_ms;
+  }
+
+let report_diff ~(before : report) ~(after : report) : report =
+  {
+    gets = after.gets - before.gets;
+    heads = after.heads - before.heads;
+    not_found = after.not_found - before.not_found;
+    bytes = after.bytes - before.bytes;
+    head_bytes = after.head_bytes - before.head_bytes;
+    requests = after.requests - before.requests;
+    attempts = after.attempts - before.attempts;
+    retries = after.retries - before.retries;
+    failed = after.failed - before.failed;
+    gave_up = after.gave_up - before.gave_up;
+    breaker_trips = after.breaker_trips - before.breaker_trips;
+    breaker_fastfails = after.breaker_fastfails - before.breaker_fastfails;
+    cache_hits = after.cache_hits - before.cache_hits;
+    cache_misses = after.cache_misses - before.cache_misses;
+    cache_evictions = after.cache_evictions - before.cache_evictions;
+    revalidations = after.revalidations - before.revalidations;
+    batches = after.batches - before.batches;
+    coalesced = after.coalesced - before.coalesced;
+    elapsed_ms = after.elapsed_ms -. before.elapsed_ms;
+  }
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf
+    "wire: %d GETs, %d HEADs, %d 404s, %d+%d bytes, %d failed@,\
+     engine: %d requests, %d attempts (%d retries, %d gave up), cache %d/%d \
+     (evict %d, reval %d), %d batches (%d coalesced), breaker %d trips \
+     (%d fastfails)@,elapsed: %.1f ms"
+    r.gets r.heads r.not_found r.bytes r.head_bytes r.failed r.requests
+    r.attempts r.retries r.gave_up r.cache_hits
+    (r.cache_hits + r.cache_misses)
+    r.cache_evictions r.revalidations r.batches r.coalesced r.breaker_trips
+    r.breaker_fastfails r.elapsed_ms
+
 (* ------------------------------------------------------------------ *)
 (* Bounded LRU page cache                                              *)
 (* ------------------------------------------------------------------ *)
@@ -334,6 +426,15 @@ let breaker_record t ~dead =
 
 let breaker_open t = match t.breaker with Open_until _ -> true | Closed | Half_open -> false
 
+(* Operational kill-switch: force the circuit open for [for_ms] of
+   simulated time, as an operator would to shed load from a site known
+   to be down. Requests fast-fail until the cooldown elapses, then one
+   probe goes through (Half-open) as for an organically tripped
+   breaker. *)
+let open_breaker t ~for_ms =
+  t.counters.breaker_trips <- t.counters.breaker_trips + 1;
+  t.breaker <- Open_until (now_ms t +. for_ms)
+
 (* ---- cache ---- *)
 
 let cache_store t url value =
@@ -492,3 +593,5 @@ let get_batch t urls : (string * page fetched) list =
 (* Warm the cache for an upcoming navigation. A no-op without a cache:
    prefetching would only duplicate the per-URL fetches. *)
 let prefetch t urls = if caching t && urls <> [] then ignore (get_batch t urls)
+
+let report t : report = merge_report (Http.snapshot t.http) (counters_snapshot t.counters)

@@ -40,7 +40,10 @@ type counters = {
   mutable requests : int;  (** logical get/head calls *)
   mutable attempts : int;  (** exchanges tried on the wire *)
   mutable retries : int;  (** attempts beyond the first *)
-  mutable failures : int;  (** attempts that died (5xx/timeout/truncated) *)
+  mutable failures : int;
+      (** @deprecated duplicates {!Http.stats}[.failed] (the same
+          events, counted in both ledgers); read {!report}[.failed]
+          instead. *)
   mutable gave_up : int;  (** requests that exhausted their retries *)
   mutable breaker_trips : int;
   mutable breaker_fastfails : int;  (** requests rejected while open *)
@@ -56,6 +59,38 @@ type counters = {
 val counters_snapshot : counters -> counters
 val counters_diff : before:counters -> after:counters -> counters
 val pp_counters : counters Fmt.t
+
+(** {1 The merged fetch report}
+
+    One ledger instead of two: the wire side ({!Http.stats}) and the
+    engine side ({!counters}) merged into a single record, with the
+    duplicated failure count collapsed into one [failed] field.
+    Prefer this over reading the two underlying ledgers separately. *)
+
+type report = {
+  gets : int;  (** full page downloads that reached the server *)
+  heads : int;  (** light connections that reached the server *)
+  not_found : int;
+  bytes : int;  (** GET payload bytes *)
+  head_bytes : int;  (** light-connection header bytes *)
+  requests : int;  (** logical get/head calls *)
+  attempts : int;  (** exchanges tried on the wire *)
+  retries : int;  (** attempts beyond the first *)
+  failed : int;  (** exchanges that died (5xx/timeout/truncated) *)
+  gave_up : int;  (** requests that exhausted their retries *)
+  breaker_trips : int;
+  breaker_fastfails : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  revalidations : int;
+  batches : int;
+  coalesced : int;
+  elapsed_ms : float;  (** simulated wall-clock spent fetching *)
+}
+
+val report_diff : before:report -> after:report -> report
+val pp_report : report Fmt.t
 
 type t
 
@@ -77,6 +112,17 @@ val caching : t -> bool
 val elapsed_ms : t -> float
 val now_ms : t -> float
 val breaker_open : t -> bool
+
+val open_breaker : t -> for_ms:float -> unit
+(** Operational kill-switch: force the circuit open for [for_ms] of
+    simulated time. Requests fast-fail as [Unreachable] until the
+    cooldown elapses, then one probe goes through (Half-open), exactly
+    as for an organically tripped breaker. *)
+
+val report : t -> report
+(** Merged snapshot of both ledgers: the wire totals of the underlying
+    {!Http} connection plus this engine's counters. Use
+    {!report_diff} to scope it to one evaluation. *)
 
 val get : t -> string -> page fetched
 (** One page download through cache, breaker and retries; advances the

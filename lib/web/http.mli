@@ -11,7 +11,11 @@ type stats = {
   mutable not_found : int;
   mutable bytes : int;  (** GET payload bytes *)
   mutable head_bytes : int;  (** light-connection header bytes *)
-  mutable failed : int;  (** exchanges that died on the wire *)
+  mutable failed : int;
+      (** exchanges that died on the wire.
+          @deprecated as a standalone ledger entry: the same events are
+          counted by {!Fetcher}'s engine ledger; read the merged
+          [Fetcher.report.failed] instead of correlating the two. *)
 }
 
 type t

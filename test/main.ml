@@ -21,4 +21,5 @@ let () =
       Test_equivalence.suite;
       Test_netsim.suite;
       Test_exec.suite;
+      Test_server.suite;
     ]

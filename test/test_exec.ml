@@ -316,6 +316,49 @@ let test_metrics_and_early_exit_flag () =
   check bool_t "LIMIT 1 stops before exhaustion" true (not m_lim.Exec.exhausted);
   check int_t "LIMIT 1 keeps one row" 1 m_lim.Exec.result_rows
 
+(* --- resumable step API ------------------------------------------- *)
+
+let test_step_api_resumable () =
+  let source = Eval.instance_source (Lazy.force instance) in
+  let plan = Cost.lower ~window:source.Eval.window schema (Lazy.force stats)
+      (prof_names_plan ())
+  in
+  let full, m_full = Exec.run_metrics schema source plan in
+  (* stepping to completion = running to completion *)
+  let r = Exec.start schema source plan in
+  check bool_t "not finished before the first step" false (Exec.finished r);
+  let steps = ref 0 in
+  let rec drive () =
+    match Exec.step r with
+    | `Pulled n ->
+      incr steps;
+      check bool_t "batches are non-empty" true (n > 0);
+      (* partial snapshots are prefixes of the final answer *)
+      check bool_t "buffered rows grow monotonically" true
+        (Exec.buffered_rows r
+        = Adm.Relation.cardinality (Exec.snapshot r));
+      drive ()
+    | `Done -> ()
+  in
+  drive ();
+  check bool_t "finished after Done" true (Exec.finished r);
+  check bool_t "stepped result = run result" true
+    (Adm.Relation.equal full (Exec.snapshot r));
+  check bool_t "at least one pulling step happened" true (!steps >= 1);
+  check bool_t "exhausted flag set" true (Exec.metrics_of r).Exec.exhausted;
+  check int_t "result_rows as in the one-shot run" m_full.Exec.result_rows
+    (Exec.metrics_of r).Exec.result_rows;
+  (* `Done is sticky *)
+  check bool_t "step after Done stays Done" true (Exec.step r = `Done);
+  (* a limit stops the stepping early and truncates the snapshot *)
+  let rl = Exec.start ~limit:2 schema source plan in
+  let rec drive_l () = match Exec.step rl with `Pulled _ -> drive_l () | `Done -> () in
+  drive_l ();
+  check int_t "limit truncates the snapshot" 2
+    (Adm.Relation.cardinality (Exec.snapshot rl));
+  check bool_t "limit leaves the pipeline unexhausted" false
+    (Exec.metrics_of rl).Exec.exhausted
+
 (* --- build-side selection ----------------------------------------- *)
 
 let test_build_side_follows_estimates () =
@@ -356,6 +399,7 @@ let suite =
         test_pinned_literal_72_counters;
       Alcotest.test_case "LIMIT stops fetching early" `Quick test_limit_stops_fetching;
       Alcotest.test_case "LIMIT truncates exactly" `Quick test_limit_truncates_exact;
+      Alcotest.test_case "resumable step API" `Quick test_step_api_resumable;
       Alcotest.test_case "metrics and early-exit flag" `Quick
         test_metrics_and_early_exit_flag;
       Alcotest.test_case "join build side follows estimates" `Quick

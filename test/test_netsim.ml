@@ -145,7 +145,7 @@ let eval_clean schema site plan =
 let eval_faulty schema site plan =
   let fetcher = faulty_fetcher site in
   let r = Eval.eval_fetched schema fetcher plan in
-  (r.Eval.result, r.Eval.net)
+  (r.Eval.result, r.Eval.fetch)
 
 (* Random conjunctive queries over the university view (reusing the
    equivalence suite's seeded generator): planning is fault-free by
@@ -302,6 +302,74 @@ let test_offline_sweep_under_faults () =
   check bool_t "the sweep needed retries" true
     ((Websim.Fetcher.counters flaky_fetcher).Websim.Fetcher.retries > 0)
 
+(* The store keeps answering while its fetcher's circuit breaker is
+   Open: every URLCheck HEAD fast-fails as Unreachable, so the stored
+   tuples are served stale — same rows as a clean query, zero network
+   downloads, only fast-fails in the ledger. *)
+let test_matview_stale_serve_breaker_open () =
+  let _, site = uni_setup () in
+  let nm = Websim.Netmodel.create (Websim.Netmodel.config ~seed:6 ()) in
+  let fetcher =
+    Websim.Fetcher.create
+      ~config:(Websim.Fetcher.config ~cache_capacity:0 ())
+      ~netmodel:nm
+      (Websim.Http.connect site)
+  in
+  let mv = Matview.materialize ~fetcher uni_schema (Websim.Http.connect site) in
+  let plan = best_plan site "SELECT p.PName, p.Rank FROM Professor p" in
+  let clean = Matview.query mv plan in
+  Websim.Fetcher.open_breaker fetcher ~for_ms:1e6;
+  let fastfails_before =
+    (Websim.Fetcher.counters fetcher).Websim.Fetcher.breaker_fastfails
+  in
+  let report = Matview.query_counted mv plan in
+  check bool_t "stale rows = clean rows" true
+    (Adm.Relation.equal (rows_sorted clean) (rows_sorted report.Matview.result));
+  check int_t "no downloads through an open breaker" 0
+    report.Matview.downloads;
+  check bool_t "the checks fast-failed" true
+    ((Websim.Fetcher.counters fetcher).Websim.Fetcher.breaker_fastfails
+    > fastfails_before);
+  check bool_t "breaker still open" true (Websim.Fetcher.breaker_open fetcher)
+
+(* Backlogged pages survive an Open -> Half-open transition: a sweep
+   while the breaker is Open purges nothing (every check is
+   Unreachable), and once the cooldown elapses the half-open probe
+   goes through and the sweep tells gone from down again. *)
+let test_sweep_keeps_backlog_across_breaker_states () =
+  let u, site = uni_setup () in
+  let nm = Websim.Netmodel.create (Websim.Netmodel.config ~seed:6 ()) in
+  let fetcher =
+    Websim.Fetcher.create
+      ~config:
+        (Websim.Fetcher.config ~cache_capacity:0 ~breaker_cooldown_ms:500.0 ())
+      ~netmodel:nm
+      (Websim.Http.connect site)
+  in
+  let mv = Matview.materialize ~fetcher uni_schema (Websim.Http.connect site) in
+  let plan = best_plan site "SELECT p.PName, p.Rank FROM Professor p" in
+  Websim.Site.tick site;
+  Websim.Site.delete site (prof_url_at u 0);
+  let _ = Matview.query_counted mv plan in
+  let backlog = Matview.check_missing_backlog mv in
+  check bool_t "deletion backlogged" true (backlog > 0);
+  let stored = Matview.total_pages mv in
+  Websim.Fetcher.open_breaker fetcher ~for_ms:500.0;
+  check int_t "open breaker: nothing purged" 0 (Matview.offline_sweep mv);
+  check int_t "open breaker: backlog kept" backlog
+    (Matview.check_missing_backlog mv);
+  check int_t "open breaker: store intact" stored (Matview.total_pages mv);
+  check bool_t "still open before the cooldown" true
+    (Websim.Fetcher.breaker_open fetcher);
+  (* past the cooldown the next request finds the breaker Half-open:
+     the probe goes through, the 404 is definitive, the page purged *)
+  Websim.Netmodel.advance nm 1000.0;
+  check int_t "half-open sweep purges the deleted page" 1
+    (Matview.offline_sweep mv);
+  check int_t "backlog drained" 0 (Matview.check_missing_backlog mv);
+  check bool_t "breaker closed by the successful probe" false
+    (Websim.Fetcher.breaker_open fetcher)
+
 (* ------------------------------------------------------------------ *)
 (* Circuit breaker, cache, batching                                    *)
 (* ------------------------------------------------------------------ *)
@@ -454,6 +522,10 @@ let suite =
         test_matview_serves_stale_when_unreachable;
       Alcotest.test_case "matview: off-line sweep under faults" `Quick
         test_offline_sweep_under_faults;
+      Alcotest.test_case "matview: stale service while breaker open" `Quick
+        test_matview_stale_serve_breaker_open;
+      Alcotest.test_case "matview: sweep backlog across open/half-open" `Quick
+        test_sweep_keeps_backlog_across_breaker_states;
       Alcotest.test_case "breaker: trips and fast-fails" `Quick
         test_breaker_trips_and_fastfails;
       Alcotest.test_case "cache: bounded LRU eviction" `Quick test_lru_eviction;

@@ -1,0 +1,369 @@
+(* Tests for the concurrent query server: deterministic interleaving,
+   the shared-cache coalescing ledger and its invariant, exactness of
+   concurrent results against isolated evaluation (the QCheck property
+   of the issue: per-query rows identical, shared distinct-GET set =
+   union of the isolated per-query GET sets), deadline degradation,
+   stale-serve under an open breaker, and admission control. *)
+
+open Webviews
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let sites =
+  [
+    ( "university", Sitegen.University.schema,
+      (fun () -> Sitegen.University.site (Sitegen.University.build ())),
+      (fun _ -> Sitegen.University.view),
+      Server.Workload.university_templates );
+    ( "bibliography", Sitegen.Bibliography.schema,
+      (fun () -> Sitegen.Bibliography.site (Sitegen.Bibliography.build ())),
+      (fun schema -> View.auto_registry schema),
+      Server.Workload.bibliography_templates );
+    ( "catalog", Sitegen.Catalog.schema,
+      (fun () -> Sitegen.Catalog.site (Sitegen.Catalog.build ())),
+      (fun _ -> Sitegen.Catalog.view),
+      Server.Workload.catalog_templates );
+  ]
+
+let stats_of schema site =
+  Stats.of_instance (Websim.Crawler.crawl schema (Websim.Http.connect site))
+
+(* A server-sized LRU: big enough that the workload's page set never
+   evicts, so the single-flight table is the whole wire set. *)
+let server_config = Websim.Fetcher.config ~cache_capacity:8192 ()
+
+let shared_cache ?netmodel site =
+  Server.Shared_cache.create ~config:server_config ?netmodel
+    (Websim.Http.connect site)
+
+let specs_of schema site registry entries =
+  Server.Sched.plan_workload schema (stats_of schema site) registry entries
+
+let run_workload ?netmodel ?stale ?(config = Server.Sched.default_config)
+    schema site registry entries =
+  let cache = shared_cache ?netmodel site in
+  (cache, Server.Sched.run ?stale config cache schema
+            (specs_of schema site registry entries))
+
+(* Isolated baseline: each query on its own fresh single-query cache
+   over the same site (and the same netmodel seed when given). *)
+let isolated ?seed schema site registry (e : Server.Workload.entry) =
+  let netmodel =
+    Option.map
+      (fun seed -> Websim.Netmodel.create (Websim.Netmodel.config ~seed ()))
+      seed
+  in
+  let cache = shared_cache ?netmodel site in
+  let spec = List.hd (specs_of schema site registry [ e ]) in
+  let source = Server.Shared_cache.source cache ~query:0 schema in
+  let rows = Eval.eval schema source spec.Server.Sched.expr in
+  (rows, Server.Shared_cache.query_get_set cache ~query:0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_deterministic_replay () =
+  let schema = Sitegen.University.schema and registry = Sitegen.University.view in
+  let entries =
+    Server.Workload.generate ~seed:9 ~n:12 ()
+  in
+  let run () =
+    let netmodel = Websim.Netmodel.create (Websim.Netmodel.config ~seed:3 ()) in
+    let _, rep =
+      run_workload ~netmodel schema
+        (Sitegen.University.site (Sitegen.University.build ()))
+        registry entries
+    in
+    rep
+  in
+  let a = run () and b = run () in
+  check int_t "same result count" (List.length a.Server.Sched.results)
+    (List.length b.Server.Sched.results);
+  List.iter2
+    (fun (ra : Server.Sched.result) (rb : Server.Sched.result) ->
+      check bool_t "same rows" true
+        (Adm.Relation.equal ra.Server.Sched.rows rb.Server.Sched.rows);
+      check (Alcotest.float 1e-9) "same elapsed" ra.Server.Sched.elapsed_ms
+        rb.Server.Sched.elapsed_ms)
+    a.Server.Sched.results b.Server.Sched.results;
+  check (Alcotest.float 1e-9) "same makespan" a.Server.Sched.makespan_ms
+    b.Server.Sched.makespan_ms;
+  check int_t "same distinct GETs" a.Server.Sched.ledger.Server.Shared_cache.distinct_gets
+    b.Server.Sched.ledger.Server.Shared_cache.distinct_gets
+
+(* ------------------------------------------------------------------ *)
+(* The coalescing ledger and its invariant                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_ledger_invariant () =
+  let schema = Sitegen.University.schema and registry = Sitegen.University.view in
+  let entries = Server.Workload.generate ~seed:4 ~n:16 () in
+  let _, rep =
+    run_workload schema
+      (Sitegen.University.site (Sitegen.University.build ()))
+      registry entries
+  in
+  let l = rep.Server.Sched.ledger in
+  check int_t "cross hits = sum - distinct"
+    (l.Server.Shared_cache.sum_per_query - l.Server.Shared_cache.distinct_gets)
+    l.Server.Shared_cache.cross_query_hits;
+  check bool_t "overlapping workload coalesces" true
+    (l.Server.Shared_cache.distinct_gets < l.Server.Shared_cache.sum_per_query);
+  check bool_t "ratio below 1" true (l.Server.Shared_cache.sharing_ratio < 1.0);
+  check int_t "per-query entries" 16
+    (List.length l.Server.Shared_cache.per_query)
+
+(* ------------------------------------------------------------------ *)
+(* Exactness against isolated evaluation (the issue's property)        *)
+(* ------------------------------------------------------------------ *)
+
+let union_sorted sets =
+  List.concat sets |> List.sort_uniq String.compare
+
+let check_workload_exact name schema site registry entries =
+  let cache, rep = run_workload schema site registry entries in
+  let isolated_rows, isolated_sets =
+    List.split (List.map (isolated schema site registry) entries)
+  in
+  List.iteri
+    (fun i (r : Server.Sched.result) ->
+      check bool_t (Fmt.str "%s q%d complete" name i) true
+        r.Server.Sched.completeness.Server.Sched.complete;
+      check bool_t (Fmt.str "%s q%d rows = isolated" name i) true
+        (Adm.Relation.equal r.Server.Sched.rows (List.nth isolated_rows i)))
+    rep.Server.Sched.results;
+  let shared_set =
+    List.sort String.compare (Server.Shared_cache.distinct_get_set cache)
+  in
+  check bool_t (Fmt.str "%s shared GET set = union of isolated" name) true
+    (shared_set = union_sorted isolated_sets)
+
+let test_exact_all_sites_seeded () =
+  List.iter
+    (fun (name, schema, mk_site, mk_registry, templates) ->
+      let registry = mk_registry schema in
+      List.iter
+        (fun seed ->
+          let entries = Server.Workload.generate ~templates ~seed ~n:8 () in
+          check_workload_exact
+            (Fmt.str "%s/seed%d" name seed)
+            schema (mk_site ()) registry entries)
+        [ 7; 21; 42 ])
+    sites
+
+(* The same property as a QCheck generator over random seeds and
+   workload sizes on the university site. *)
+let prop_concurrent_equals_isolated =
+  QCheck.Test.make ~name:"concurrent = isolated (rows and GET sets)" ~count:12
+    QCheck.(pair (int_bound 1000) (int_range 1 10))
+    (fun (seed, n) ->
+      let schema = Sitegen.University.schema in
+      let registry = Sitegen.University.view in
+      let site = Sitegen.University.site (Sitegen.University.build ()) in
+      let entries = Server.Workload.generate ~seed ~n () in
+      let cache, rep = run_workload schema site registry entries in
+      let isolated_rows, isolated_sets =
+        List.split (List.map (isolated schema site registry) entries)
+      in
+      List.for_all
+        (fun (r : Server.Sched.result) ->
+          Adm.Relation.equal r.Server.Sched.rows
+            (List.nth isolated_rows r.Server.Sched.qid))
+        rep.Server.Sched.results
+      && List.sort String.compare (Server.Shared_cache.distinct_get_set cache)
+         = union_sorted isolated_sets)
+
+(* ------------------------------------------------------------------ *)
+(* Faults: no query errors with retries >= max_consecutive             *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_under_faults () =
+  let schema = Sitegen.University.schema and registry = Sitegen.University.view in
+  let site = Sitegen.University.site (Sitegen.University.build ()) in
+  let entries = Server.Workload.generate ~seed:13 ~n:8 () in
+  let netmodel =
+    Websim.Netmodel.create
+      (Websim.Netmodel.config ~seed:17 ~fault_rate:0.10 ~max_consecutive:2 ())
+  in
+  let cache =
+    Server.Shared_cache.create
+      ~config:(Websim.Fetcher.config ~cache_capacity:8192 ~retries:3 ())
+      ~netmodel (Websim.Http.connect site)
+  in
+  let rep =
+    Server.Sched.run Server.Sched.default_config cache schema
+      (specs_of schema site registry entries)
+  in
+  let isolated_rows = List.map (fun e -> fst (isolated schema site registry e)) entries in
+  List.iteri
+    (fun i (r : Server.Sched.result) ->
+      check bool_t (Fmt.str "q%d complete under faults" i) true
+        r.Server.Sched.completeness.Server.Sched.complete;
+      check bool_t (Fmt.str "q%d exact under faults" i) true
+        (Adm.Relation.equal r.Server.Sched.rows (List.nth isolated_rows i)))
+    rep.Server.Sched.results;
+  check bool_t "retries happened" true
+    (rep.Server.Sched.fetch.Websim.Fetcher.retries > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines: graceful degradation, not errors                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_partial () =
+  let schema = Sitegen.University.schema and registry = Sitegen.University.view in
+  let site = Sitegen.University.site (Sitegen.University.build ()) in
+  (* slow network, tiny budget: deadlines must fire *)
+  let netmodel = Websim.Netmodel.create (Websim.Netmodel.config ~seed:5 ()) in
+  let entries =
+    List.map
+      (fun (e : Server.Workload.entry) ->
+        { e with Server.Workload.deadline_ms = Some 1.0 })
+      (Server.Workload.generate ~seed:2 ~n:6 ())
+  in
+  let _, rep = run_workload ~netmodel schema site registry entries in
+  check int_t "every query reports" 6 (List.length rep.Server.Sched.results);
+  let hit =
+    List.filter
+      (fun (r : Server.Sched.result) ->
+        r.Server.Sched.completeness.Server.Sched.deadline_hit)
+      rep.Server.Sched.results
+  in
+  check bool_t "some deadline fired" true (hit <> []);
+  List.iter
+    (fun (r : Server.Sched.result) ->
+      check bool_t "deadline result not marked complete" false
+        r.Server.Sched.completeness.Server.Sched.complete)
+    hit
+
+(* ------------------------------------------------------------------ *)
+(* Circuit open: stale-serve through the materialized store            *)
+(* ------------------------------------------------------------------ *)
+
+let test_breaker_open_stale_serve () =
+  let schema = Sitegen.University.schema and registry = Sitegen.University.view in
+  let site = Sitegen.University.site (Sitegen.University.build ()) in
+  let store = Matview.materialize schema (Websim.Http.connect site) in
+  let netmodel = Websim.Netmodel.create (Websim.Netmodel.config ~seed:8 ()) in
+  let entries = Server.Workload.generate ~seed:3 ~n:4 () in
+  let isolated_rows = List.map (fun e -> fst (isolated schema site registry e)) entries in
+  let cache = shared_cache ~netmodel site in
+  Websim.Fetcher.open_breaker (Server.Shared_cache.fetcher cache) ~for_ms:1e9;
+  let rep =
+    Server.Sched.run ~stale:store Server.Sched.default_config cache schema
+      (specs_of schema site registry entries)
+  in
+  List.iteri
+    (fun i (r : Server.Sched.result) ->
+      check bool_t (Fmt.str "q%d served stale, not failed" i) true
+        (r.Server.Sched.completeness.Server.Sched.stale_pages > 0);
+      check bool_t (Fmt.str "q%d not complete" i) false
+        r.Server.Sched.completeness.Server.Sched.complete;
+      (* the store is fresh, so the stale rows are the true rows *)
+      check bool_t (Fmt.str "q%d stale rows = fresh rows" i) true
+        (Adm.Relation.equal r.Server.Sched.rows (List.nth isolated_rows i)))
+    rep.Server.Sched.results;
+  check int_t "nothing went to the wire" 0
+    rep.Server.Sched.fetch.Websim.Fetcher.gets;
+  check bool_t "fast-fails recorded" true
+    (rep.Server.Sched.fetch.Websim.Fetcher.breaker_fastfails > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control and policies                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_admission_bounds () =
+  let schema = Sitegen.University.schema and registry = Sitegen.University.view in
+  let site = Sitegen.University.site (Sitegen.University.build ()) in
+  let entries = Server.Workload.generate ~seed:6 ~n:10 () in
+  let config = Server.Sched.config ~concurrency:2 () in
+  let _, rep = run_workload ~config schema site registry entries in
+  check bool_t "peak residents bounded by concurrency" true
+    (rep.Server.Sched.peak_resident_queries <= 2);
+  check int_t "all queries finished" 10 (List.length rep.Server.Sched.results);
+  (* a one-row budget forces near-serial residency but must not stall *)
+  let config = Server.Sched.config ~concurrency:8 ~max_resident_rows:1 () in
+  let _, rep = run_workload ~config schema site registry entries in
+  check int_t "tiny row budget still finishes" 10
+    (List.length rep.Server.Sched.results)
+
+let test_priority_first () =
+  let schema = Sitegen.University.schema and registry = Sitegen.University.view in
+  let site = Sitegen.University.site (Sitegen.University.build ()) in
+  let netmodel = Websim.Netmodel.create (Websim.Netmodel.config ~seed:4 ()) in
+  let sql = "SELECT p.PName, p.Rank FROM Professor p" in
+  let entries =
+    [
+      Server.Workload.entry ~priority:0 sql;
+      Server.Workload.entry ~priority:0 sql;
+      Server.Workload.entry ~priority:5 sql;
+    ]
+  in
+  let config = Server.Sched.config ~policy:Server.Sched.Priority () in
+  let _, rep = run_workload ~netmodel ~config schema site registry entries in
+  let elapsed qid =
+    (List.find
+       (fun (r : Server.Sched.result) -> r.Server.Sched.qid = qid)
+       rep.Server.Sched.results)
+      .Server.Sched.elapsed_ms
+  in
+  check bool_t "high priority finishes no later than the others" true
+    (elapsed 2 <= elapsed 0 && elapsed 2 <= elapsed 1)
+
+(* ------------------------------------------------------------------ *)
+(* Workload files                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_parsing () =
+  let entries =
+    Server.Workload.of_lines
+      [
+        "# comment";
+        "";
+        "SELECT p.PName FROM Professor p";
+        "2|SELECT d.DName FROM Dept d";
+        "  ";
+      ]
+  in
+  check int_t "two entries" 2 (List.length entries);
+  let e1 = List.nth entries 0 and e2 = List.nth entries 1 in
+  check bool_t "plain line" true
+    (e1.Server.Workload.sql = "SELECT p.PName FROM Professor p"
+    && e1.Server.Workload.priority = 0);
+  check bool_t "priority prefix" true
+    (e2.Server.Workload.sql = "SELECT d.DName FROM Dept d"
+    && e2.Server.Workload.priority = 2)
+
+let test_generator_deterministic () =
+  let a = Server.Workload.generate ~seed:42 ~n:20 () in
+  let b = Server.Workload.generate ~seed:42 ~n:20 () in
+  let c = Server.Workload.generate ~seed:43 ~n:20 () in
+  check bool_t "same seed, same workload" true (a = b);
+  check bool_t "different seed differs" true (a <> c)
+
+let suite =
+  ( "server",
+    [
+      Alcotest.test_case "scheduler: deterministic replay" `Quick
+        test_deterministic_replay;
+      Alcotest.test_case "shared cache: ledger invariant and coalescing" `Quick
+        test_ledger_invariant;
+      Alcotest.test_case "exactness: seeds 7/21/42 on all three sites" `Slow
+        test_exact_all_sites_seeded;
+      QCheck_alcotest.to_alcotest prop_concurrent_equals_isolated;
+      Alcotest.test_case "faults: exact and complete at 10% with retries"
+        `Quick test_exact_under_faults;
+      Alcotest.test_case "deadlines: partial results, no errors" `Quick
+        test_deadline_partial;
+      Alcotest.test_case "breaker open: stale-serve degradation" `Quick
+        test_breaker_open_stale_serve;
+      Alcotest.test_case "admission control bounds residency" `Quick
+        test_admission_bounds;
+      Alcotest.test_case "priority policy finishes urgent first" `Quick
+        test_priority_first;
+      Alcotest.test_case "workload files parse" `Quick test_workload_parsing;
+      Alcotest.test_case "workload generator is seeded" `Quick
+        test_generator_deterministic;
+    ] )
