@@ -58,9 +58,13 @@ bench-exec:
 # the cooperative scheduler behind one shared page cache versus each
 # query isolated on its own engine — cross-query GET coalescing ratio,
 # makespan, fairness percentiles, result identity, plus a
-# deadline-under-faults degradation scenario. Writes BENCH_server.json
-# in the current directory; commit it so the trajectory is tracked
-# across PRs.
+# deadline-under-faults degradation scenario, plus the multicore
+# domain sweep (a ~10^5-page site, 10^3 mixed scan/selective
+# queries, 1/2/4/8 domains:
+# makespan speedup curve, queue-wait vs service percentiles, stripe
+# contention, byte-identity across domain counts). Writes
+# BENCH_server.json in the current directory; commit it so the
+# trajectory is tracked across PRs.
 bench-server:
 	dune exec bench/main.exe -- server
 

@@ -175,14 +175,14 @@ let literal_join_plan_72 () =
       (Nalg.follow
          (Nalg.select
             [ Pred.eq_const "DeptListPage.DeptList.DName"
-                (Adm.Value.Text "Computer Science") ]
+                (Adm.Value.text "Computer Science") ]
             (Nalg.unnest (Nalg.entry "DeptListPage") "DeptListPage.DeptList"))
          "DeptListPage.DeptList.ToDept" ~scheme:"DeptPage")
       "DeptPage.ProfList"
   in
   let grad_instructor_pointers =
     Nalg.select
-      [ Pred.eq_const "CoursePage.Type" (Adm.Value.Text "Graduate") ]
+      [ Pred.eq_const "CoursePage.Type" (Adm.Value.text "Graduate") ]
       (Nalg.follow
          (Nalg.unnest
             (Nalg.follow
@@ -203,7 +203,7 @@ let literal_chase_plan_72 () =
   Nalg.project
     [ "ProfPage.PName"; "ProfPage.Email" ]
     (Nalg.select
-       [ Pred.eq_const "CoursePage.Type" (Adm.Value.Text "Graduate") ]
+       [ Pred.eq_const "CoursePage.Type" (Adm.Value.text "Graduate") ]
        (Nalg.follow
           (Nalg.unnest
              (Nalg.follow
@@ -211,7 +211,7 @@ let literal_chase_plan_72 () =
                    (Nalg.follow
                       (Nalg.select
                          [ Pred.eq_const "DeptListPage.DeptList.DName"
-                             (Adm.Value.Text "Computer Science") ]
+                             (Adm.Value.text "Computer Science") ]
                          (Nalg.unnest (Nalg.entry "DeptListPage") "DeptListPage.DeptList"))
                       "DeptListPage.DeptList.ToDept" ~scheme:"DeptPage")
                    "DeptPage.ProfList")
@@ -603,9 +603,9 @@ let kernel_left n =
     (List.init n (fun i ->
          [
            ("L.K", Adm.Value.Int (i mod m));
-           ("L.A", Adm.Value.Text ("left-" ^ string_of_int i));
+           ("L.A", Adm.Value.text ("left-" ^ string_of_int i));
            ("L.B", Adm.Value.Int (i * 7));
-           ("L.C", Adm.Value.Link ("/page/" ^ string_of_int i));
+           ("L.C", Adm.Value.link ("/page/" ^ string_of_int i));
          ]))
 
 let kernel_right n =
@@ -613,7 +613,7 @@ let kernel_right n =
   Adm.Relation.make
     [ "R.K"; "R.D" ]
     (List.init m (fun j ->
-         [ ("R.K", Adm.Value.Int j); ("R.D", Adm.Value.Text ("right-" ^ string_of_int j)) ]))
+         [ ("R.K", Adm.Value.Int j); ("R.D", Adm.Value.text ("right-" ^ string_of_int j)) ]))
 
 (* n rows, n/10 distinct: the worst case for string-rendered keys. *)
 let kernel_dupes n =
@@ -623,7 +623,7 @@ let kernel_dupes n =
     (List.init n (fun i ->
          [
            ("D.K", Adm.Value.Int (i mod m));
-           ("D.A", Adm.Value.Text ("dup-" ^ string_of_int (i mod m)));
+           ("D.A", Adm.Value.text ("dup-" ^ string_of_int (i mod m)));
            ("D.B", Adm.Value.Int (i mod m * 3));
          ]))
 
@@ -634,12 +634,12 @@ let kernel_nested n =
     [ "Dept"; "Profs" ]
     (List.init outer (fun i ->
          [
-           ("Dept", Adm.Value.Text ("dept-" ^ string_of_int i));
+           ("Dept", Adm.Value.text ("dept-" ^ string_of_int i));
            ( "Profs",
              Adm.Value.Rows
                (List.init 50 (fun j ->
                     [
-                      ("P", Adm.Value.Text (Fmt.str "p-%d-%d" i j));
+                      ("P", Adm.Value.text (Fmt.str "p-%d-%d" i j));
                       ("Rank", Adm.Value.Int (j mod 4));
                     ])) );
          ]))
@@ -1049,6 +1049,140 @@ let server_bench () =
     "@.deadline 300 ms at 10%% faults: %d/8 deadline partials, %d errors, \
      %d retries@."
     partials errors drep.Server.Sched.fetch.Websim.Fetcher.retries;
+  (* ---------------------------------------------------------------- *)
+  (* Domain sweep: the multicore scale-out experiment (DESIGN.md §12). *)
+  (* A ~10^5-page university, 10^3 queries from the template pool, a   *)
+  (* seeded latency model, run at 1/2/4/8 domains with a fresh cache   *)
+  (* per point. Scheduler decisions are domain-invariant, so results,  *)
+  (* GET sets and the sharing ledger must be byte-identical at every   *)
+  (* point; only the lane-time accounting (makespan, fairness) fans    *)
+  (* out. [keep_rows:false] + digests keep 10^3 x 10^4-row results     *)
+  (* from residing in memory.                                          *)
+  banner "Domain sweep: 10^5-page site, 10^3 queries, 1/2/4/8 domains";
+  let scale_config =
+    {
+      Sitegen.University.default_config with
+      n_depts = 500;
+      n_profs = 40_000;
+      n_courses = 60_000;
+      n_sessions = 4;
+    }
+  in
+  let scale_uni, scale_schema, scale_stats = university_setup scale_config in
+  let scale_site = Sitegen.University.site scale_uni in
+  let scale_pages = Websim.Site.page_count scale_site in
+  let n_queries = 1000 in
+  (* A realistic mixed workload: the 12 standard templates (whole-site
+     scans and joins) plus selective navigations parameterized over
+     every department and session. No production workload is a
+     thousand full-site scans — and the distinction matters for
+     scale-out: a whole-site scan consumes its page family as one
+     serial window chain that no domain count can split, while
+     selective queries cover disjoint page subsets in independent
+     chains that lanes genuinely overlap. The scans then ride the
+     shared cache over pages the selective queries brought in. *)
+  let scale_templates =
+    let dept_q (d : Sitegen.University.dept) =
+      Fmt.str
+        "SELECT p.PName, p.Email FROM Professor p, ProfDept d \
+         WHERE p.PName = d.PName AND d.DName = '%s'"
+        d.Sitegen.University.d_name
+    in
+    let session_q s =
+      Fmt.str
+        "SELECT c.CName, c.Description FROM Course c WHERE c.Session = '%s'" s
+    in
+    Server.Workload.university_templates
+    @ List.map session_q (Sitegen.University.sessions scale_uni)
+    @ List.map dept_q (Sitegen.University.depts scale_uni)
+  in
+  let scale_specs =
+    Server.Sched.plan_workload scale_schema scale_stats registry
+      (Server.Workload.generate ~templates:scale_templates ~seed:7
+         ~n:n_queries ())
+  in
+  Fmt.pr "site: %d pages, workload: %d queries (%d distinct plans)@."
+    scale_pages n_queries
+    (List.length
+       (List.sort_uniq String.compare
+          (List.map (fun (s : Server.Sched.spec) -> s.Server.Sched.label) scale_specs)));
+  let digest_rows rows =
+    (* order-sensitive structural digest over every row and value *)
+    Adm.Relation.to_seq rows
+    |> Seq.fold_left
+         (fun acc row ->
+           Array.fold_left
+             (fun acc v -> (acc * 1000003) lxor Adm.Value.hash v)
+             ((acc * 1000003) lxor Array.length row)
+             row)
+         (Adm.Relation.cardinality rows)
+  in
+  let sweep_point domains =
+    let pool = if domains > 1 then Some (Server.Pool.create ~domains) else None in
+    let cache =
+      Server.Shared_cache.create ?pool
+        ~config:(Websim.Fetcher.config ~cache_capacity:200_000 ~retries:3 ())
+        ~netmodel:(netmodel ())
+        (Websim.Http.connect scale_site)
+    in
+    let digests = ref [] in
+    let on_result (r : Server.Sched.result) =
+      digests :=
+        ( r.Server.Sched.qid,
+          digest_rows r.Server.Sched.rows,
+          r.Server.Sched.completeness.Server.Sched.complete )
+        :: !digests
+    in
+    let config =
+      Server.Sched.config ~domains ~concurrency:32
+        ~max_resident_rows:4_000_000 ()
+    in
+    let rep =
+      Server.Sched.run ~on_result ~keep_rows:false config cache scale_schema
+        scale_specs
+    in
+    Option.iter Server.Pool.shutdown pool;
+    ( List.rev !digests,
+      Server.Shared_cache.distinct_get_set cache,
+      Server.Shared_cache.ledger cache,
+      Server.Shared_cache.contention cache,
+      rep )
+  in
+  let sweep_domains = [ 1; 2; 4; 8 ] in
+  let sweep = List.map (fun d -> (d, sweep_point d)) sweep_domains in
+  let base_digests, base_gets, base_ledger, _, base_rep =
+    match sweep with (_, p) :: _ -> p | [] -> assert false
+  in
+  let sweep_rows =
+    List.map
+      (fun (d, (digests, gets, ledger, contention, rep)) ->
+        let identical =
+          digests = base_digests && gets = base_gets && ledger = base_ledger
+        in
+        let speedup =
+          base_rep.Server.Sched.makespan_ms /. rep.Server.Sched.makespan_ms
+        in
+        (d, identical, speedup, contention, rep))
+      sweep
+  in
+  print_table
+    [ "domains"; "makespan ms"; "speedup"; "p50 ms"; "p95 ms"; "p50 svc";
+      "p95 svc"; "p50 wait"; "p95 wait"; "identical" ]
+    (List.map
+       (fun (d, identical, speedup, _, (rep : Server.Sched.report)) ->
+         [
+           string_of_int d; f1 rep.Server.Sched.makespan_ms;
+           Fmt.str "%.2fx" speedup; f1 rep.Server.Sched.p50_ms;
+           f1 rep.Server.Sched.p95_ms; f1 rep.Server.Sched.p50_service_ms;
+           f1 rep.Server.Sched.p95_service_ms; f1 rep.Server.Sched.p50_wait_ms;
+           f1 rep.Server.Sched.p95_wait_ms;
+           (if identical then "yes" else "NO");
+         ])
+       sweep_rows);
+  (match List.find_opt (fun (d, _, _, _, _) -> d = 4) sweep_rows with
+  | Some (_, _, speedup, _, _) when speedup < 2.0 ->
+    Fmt.pr "@.WARNING: speedup at 4 domains is %.2fx (< 2x)@." speedup
+  | _ -> ());
   let oc = open_out "BENCH_server.json" in
   Printf.fprintf oc "{\n  \"suite\": \"server\",\n  \"results\": [\n";
   List.iteri
@@ -1077,10 +1211,41 @@ let server_bench () =
     "  ],\n\
     \  \"deadline_scenario\": { \"queries\": 8, \"deadline_ms\": 300.0, \
      \"fault_rate\": 0.10, \"retries\": 3,\n\
-    \    \"deadline_partials\": %d, \"errors\": %d, \"wire_retries\": %d }\n}\n"
+    \    \"deadline_partials\": %d, \"errors\": %d, \"wire_retries\": %d },\n"
     partials errors drep.Server.Sched.fetch.Websim.Fetcher.retries;
+  Printf.fprintf oc
+    "  \"domain_sweep\": {\n\
+    \    \"site_pages\": %d, \"queries\": %d, \"concurrency\": 32, \
+     \"quantum\": 4, \"net_seed\": %d,\n\
+    \    \"points\": [\n"
+    scale_pages n_queries net_seed;
+  let n_points = List.length sweep_rows in
+  List.iteri
+    (fun i (d, identical, speedup, (c : Server.Shared_cache.contention),
+            (rep : Server.Sched.report)) ->
+      Printf.fprintf oc
+        "      { \"domains\": %d, \"makespan_ms\": %.1f, \"speedup\": %.3f, \
+         \"identical\": %b,\n\
+        \        \"p50_ms\": %.1f, \"p95_ms\": %.1f, \"p50_service_ms\": %.1f, \
+         \"p95_service_ms\": %.1f, \"p50_wait_ms\": %.1f, \"p95_wait_ms\": %.1f,\n\
+        \        \"distinct_gets\": %d, \"cross_query_hits\": %d, \
+         \"tuples_cached\": %d, \"lock_acquisitions\": %d, \
+         \"lock_contested\": %d }%s\n"
+        d rep.Server.Sched.makespan_ms speedup identical rep.Server.Sched.p50_ms
+        rep.Server.Sched.p95_ms rep.Server.Sched.p50_service_ms
+        rep.Server.Sched.p95_service_ms rep.Server.Sched.p50_wait_ms
+        rep.Server.Sched.p95_wait_ms
+        rep.Server.Sched.ledger.Server.Shared_cache.distinct_gets
+        rep.Server.Sched.ledger.Server.Shared_cache.cross_query_hits
+        c.Server.Shared_cache.tuples_cached
+        c.Server.Shared_cache.lock_acquisitions
+        c.Server.Shared_cache.lock_contested
+        (if i = n_points - 1 then "" else ","))
+    sweep_rows;
+  Printf.fprintf oc "    ]\n  }\n}\n";
   close_out oc;
-  Fmt.pr "@.wrote BENCH_server.json (%d workload sizes)@." (List.length records)
+  Fmt.pr "@.wrote BENCH_server.json (%d workload sizes + %d-point domain sweep)@."
+    (List.length records) n_points
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                    *)

@@ -441,7 +441,7 @@ let check_cmd =
 
 let serve_cmd =
   let run workload n wseed concurrency quantum policy deadline faults latency
-      window retries net_seed use_stale max_resident site_kind loaded =
+      window retries net_seed use_stale max_resident domains site_kind loaded =
     let entries =
       match workload with
       | Some path -> Server.Workload.load path
@@ -477,8 +477,11 @@ let serve_cmd =
                (Websim.Netmodel.config ~seed:net_seed ~fault_rate:faults ()))
         else None
       in
+      let pool =
+        if domains > 1 then Some (Server.Pool.create ~domains) else None
+      in
       let cache =
-        Server.Shared_cache.create
+        Server.Shared_cache.create ?pool
           ~config:(Websim.Fetcher.config ~window ~retries ~cache_capacity:8192 ())
           ?netmodel
           (Websim.Http.connect loaded.site)
@@ -490,11 +493,12 @@ let serve_cmd =
       in
       let config =
         Server.Sched.config ~concurrency ~quantum ~policy
-          ~max_resident_rows:max_resident ()
+          ~max_resident_rows:max_resident ~domains ()
       in
       let report = Server.Sched.run ?stale config cache loaded.schema specs in
-      Fmt.pr "%d queries, concurrency %d, quantum %d@.@." (List.length specs)
-        concurrency quantum;
+      Option.iter Server.Pool.shutdown pool;
+      Fmt.pr "%d queries, concurrency %d, quantum %d, domains %d@.@."
+        (List.length specs) concurrency quantum domains;
       Fmt.pr "%a@." Server.Sched.pp_report report
     end
   in
@@ -571,6 +575,15 @@ let serve_cmd =
            ~doc:"Materialize the site first and serve stale stored tuples \
                  when a page is unreachable (graceful degradation).")
   in
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Execution lanes of the modelled multicore server: each \
+                 quantum's fetch time is charged to the earliest-frontier \
+                 lane (a query's own chain stays sequential) and makespan \
+                 is the largest lane frontier. Results are byte-identical \
+                 at every N; prefetched windows extract in parallel on a \
+                 pool of N domains.")
+  in
   let max_resident_arg =
     Arg.(value & opt int 100_000 & info [ "max-resident" ] ~docv:"ROWS"
            ~doc:"Stop admitting queries while resident ones buffer more \
@@ -586,19 +599,21 @@ let serve_cmd =
           coalescing ledger, makespan and fairness percentiles.")
     Term.(const (fun site depts profs courses seed workload n wseed concurrency
                      quantum policy deadline faults latency window retries
-                     net_seed use_stale max_resident ->
+                     net_seed use_stale max_resident domains ->
               with_site
                 (run workload n wseed concurrency quantum policy deadline faults
-                   latency window retries net_seed use_stale max_resident site)
+                   latency window retries net_seed use_stale max_resident domains
+                   site)
                 site depts profs courses seed)
           $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg
           $ workload_arg $ n_arg $ wseed_arg $ concurrency_arg $ quantum_arg
           $ policy_arg $ deadline_arg $ faults_arg $ latency_arg $ window_arg
-          $ retries_arg $ net_seed_arg $ stale_arg $ max_resident_arg)
+          $ retries_arg $ net_seed_arg $ stale_arg $ max_resident_arg
+          $ domains_arg)
 
 let main_cmd =
   let doc = "Efficient queries over web views (EDBT 1998 reproduction)" in
-  Cmd.group (Cmd.info "webviews" ~doc ~version:"0.5.0")
+  Cmd.group (Cmd.info "webviews" ~doc ~version:"0.6.0")
     [
       scheme_cmd; crawl_cmd; plan_cmd; explain_cmd; query_cmd; run_cmd;
       serve_cmd; matview_cmd; navigations_cmd; discover_cmd; check_cmd;

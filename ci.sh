@@ -16,4 +16,9 @@ dune runtest --profile ci
 echo "== make check (static analyzer) =="
 make check
 
+echo "== smoke scale: 2-domain serve over a scaled site =="
+dune exec --profile ci bin/webviews_cli.exe -- serve \
+  --profs 300 --courses 600 --queries 32 --domains 2 --latency \
+  | tail -n 12
+
 echo "== ci: all green =="

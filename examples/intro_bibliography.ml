@@ -12,7 +12,7 @@ let authors_by_year rel ~name_attr ~year_attr =
   Adm.Relation.rows rel
   |> List.filter_map (fun t ->
          match Adm.Value.find t name_attr, Adm.Value.find t year_attr with
-         | Some (Adm.Value.Text a), Some (Adm.Value.Int y) -> Some (a, y)
+         | Some (Adm.Value.Text a), Some (Adm.Value.Int y) -> Some (Adm.Value.Atom.str a, y)
          | _ -> None)
   |> List.sort_uniq compare
 

@@ -224,7 +224,9 @@ let validate_instance s lookup =
           List.iter
             (fun (u, av) ->
               match Hashtbl.find_opt target_by_url (Value.to_string (Value.Link u)) with
-              | None -> err "link constraint %a: dangling link %s" Constraints.pp_link_constraint c u
+              | None ->
+                err "link constraint %a: dangling link %s" Constraints.pp_link_constraint c
+                  (Value.Atom.str u)
               | Some target_tuple -> (
                 let bv =
                   if String.equal c.target_attr Page_scheme.url_attr then
@@ -235,11 +237,11 @@ let validate_instance s lookup =
                 | Some bv when Value.equal bv av -> ()
                 | Some bv ->
                   err "link constraint %a violated at %s: %s ≠ %s"
-                    Constraints.pp_link_constraint c u (Value.to_string av)
-                    (Value.to_string bv)
+                    Constraints.pp_link_constraint c (Value.Atom.str u)
+                    (Value.to_string av) (Value.to_string bv)
                 | None ->
                   err "link constraint %a: target %s misses attribute %s"
-                    Constraints.pp_link_constraint c u c.target_attr))
+                    Constraints.pp_link_constraint c (Value.Atom.str u) c.target_attr))
             (link_attr_pairs c.link.steps c.source_attr.steps tuple))
         (Relation.rows source))
     s.link_constraints;

@@ -6,12 +6,59 @@
    in Partitioned Normal Form (PNF): atomic attributes of a tuple form
    a key for the tuple within its enclosing list. *)
 
+(* Hash-consed strings. Every text and link atom in the system is
+   interned into one global table, so the distinct/join/dedup hot
+   paths compare by integer id and read a precomputed hash instead of
+   re-walking string bytes per row. The stored [hash] is the same
+   structural [Hashtbl.hash] of the string the pre-intern code used,
+   which keeps every hash-ordering observable today byte-identical —
+   in particular it does NOT depend on [id], so results cannot depend
+   on the order in which domains first intern a string. The table is
+   mutex-guarded: interning is the only global mutable state touched
+   by pool workers (wrapper extraction runs in parallel). *)
+module Atom = struct
+  type t = { id : int; hash : int; str : string }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 4096
+  let lock = Mutex.create ()
+  let counter = ref 0
+
+  let of_string str =
+    Mutex.lock lock;
+    let a =
+      match Hashtbl.find_opt table str with
+      | Some a -> a
+      | None ->
+        let a = { id = !counter; hash = Hashtbl.hash str; str } in
+        incr counter;
+        Hashtbl.add table str a;
+        a
+    in
+    Mutex.unlock lock;
+    a
+
+  let str a = a.str
+  let id a = a.id
+  let equal a b = a.id = b.id
+  let hash a = a.hash
+
+  (* String order, not id order: canonical sorts must not depend on
+     interning order. Equality short-circuits on the id. *)
+  let compare a b = if a.id = b.id then 0 else String.compare a.str b.str
+
+  let interned () =
+    Mutex.lock lock;
+    let n = Hashtbl.length table in
+    Mutex.unlock lock;
+    n
+end
+
 type t =
   | Null
   | Bool of bool
   | Int of int
-  | Text of string
-  | Link of string (* the URL of the referenced page *)
+  | Text of Atom.t
+  | Link of Atom.t (* the URL of the referenced page *)
   | Rows of tuple list
 
 and tuple = (string * t) list
@@ -21,7 +68,7 @@ let rec equal v1 v2 =
   | Null, Null -> true
   | Bool b1, Bool b2 -> Bool.equal b1 b2
   | Int i1, Int i2 -> Int.equal i1 i2
-  | Text s1, Text s2 | Link s1, Link s2 -> String.equal s1 s2
+  | Text s1, Text s2 | Link s1, Link s2 -> Atom.equal s1 s2
   | Rows r1, Rows r2 ->
     List.length r1 = List.length r2 && List.for_all2 equal_tuple r1 r2
   | (Null | Bool _ | Int _ | Text _ | Link _ | Rows _), _ -> false
@@ -45,7 +92,7 @@ let rec compare v1 v2 =
   | Null, Null -> 0
   | Bool b1, Bool b2 -> Bool.compare b1 b2
   | Int i1, Int i2 -> Int.compare i1 i2
-  | Text s1, Text s2 | Link s1, Link s2 -> String.compare s1 s2
+  | Text s1, Text s2 | Link s1, Link s2 -> Atom.compare s1 s2
   | Rows r1, Rows r2 -> List.compare compare_tuple r1 r2
   | (Null | Bool _ | Int _ | Text _ | Link _ | Rows _), _ ->
     Int.compare (tag v1) (tag v2)
@@ -74,8 +121,8 @@ let rec pp ppf = function
   | Null -> Fmt.string ppf "NULL"
   | Bool b -> Fmt.bool ppf b
   | Int i -> Fmt.int ppf i
-  | Text s -> Fmt.pf ppf "%S" s
-  | Link u -> Fmt.pf ppf "<%s>" u
+  | Text s -> Fmt.pf ppf "%S" (Atom.str s)
+  | Link u -> Fmt.pf ppf "<%s>" (Atom.str u)
   | Rows rows -> Fmt.pf ppf "[@[%a@]]" (Fmt.list ~sep:Fmt.semi pp_tuple) rows
 
 and pp_tuple ppf tuple =
@@ -90,30 +137,30 @@ let to_display = function
   | Null -> ""
   | Bool b -> Bool.to_string b
   | Int i -> Int.to_string i
-  | Text s -> s
-  | Link u -> u
+  | Text s -> Atom.str s
+  | Link u -> Atom.str u
   | Rows rows -> Fmt.str "[%d rows]" (List.length rows)
 
-let text s = Text s
+let text s = Text (Atom.of_string s)
 let int i = Int i
-let link u = Link u
+let link u = Link (Atom.of_string u)
 let rows r = Rows r
 
 (* Accessors used by wrappers and the evaluator. *)
 
 let as_text = function
-  | Text s -> Some s
-  | Link s -> Some s
+  | Text s -> Some (Atom.str s)
+  | Link s -> Some (Atom.str s)
   | Int i -> Some (Int.to_string i)
   | Bool b -> Some (Bool.to_string b)
   | Null | Rows _ -> None
 
 let as_int = function
   | Int i -> Some i
-  | Text s -> int_of_string_opt s
+  | Text s -> int_of_string_opt (Atom.str s)
   | Null | Bool _ | Link _ | Rows _ -> None
 
-let as_link = function Link u -> Some u | _ -> None
+let as_link = function Link u -> Some (Atom.str u) | _ -> None
 let as_rows = function Rows r -> Some r | _ -> None
 
 (* Tuple helpers. Attribute lookup is by exact name. *)
@@ -142,7 +189,10 @@ let attrs tuple = List.map fst tuple
 
 (* Structural hash, consistent with [equal]: distinct constructors
    hash apart (so [Int 1] and [Text "1"] never share a bucket chain
-   by construction) and no intermediate string is rendered. *)
+   by construction) and no intermediate string is rendered. Text and
+   link atoms read the hash interned with them — same value as the
+   structural [Hashtbl.hash] of the string, computed once per
+   distinct string instead of once per row. *)
 
 let hash_combine acc h = (acc * 31) + h
 
@@ -151,8 +201,8 @@ let rec hash v =
   | Null -> 3
   | Bool b -> hash_combine 5 (Bool.to_int b)
   | Int i -> hash_combine 7 i
-  | Text s -> hash_combine 11 (Hashtbl.hash s)
-  | Link u -> hash_combine 13 (Hashtbl.hash u)
+  | Text s -> hash_combine 11 (Atom.hash s)
+  | Link u -> hash_combine 13 (Atom.hash u)
   | Rows rows -> List.fold_left (fun acc t -> hash_combine acc (hash_tuple t)) 17 rows)
   land max_int
 

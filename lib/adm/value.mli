@@ -1,12 +1,42 @@
 (** Values of the ADM subset: atoms (text, int, bool, link) and nested
     lists of tuples in Partitioned Normal Form. *)
 
+(** Hash-consed strings: every text/link atom is interned into one
+    global (mutex-guarded, domain-safe) table. Equality is an integer
+    id comparison and the structural hash is precomputed at intern
+    time, so dedup/join paths stop re-walking string bytes. The hash
+    is the plain [Hashtbl.hash] of the string — independent of the
+    interning order, so hash-ordering observables cannot depend on
+    which domain interned a string first. *)
+module Atom : sig
+  type t = private { id : int; hash : int; str : string }
+
+  val of_string : string -> t
+  (** Intern. Returns the unique atom for this string. *)
+
+  val str : t -> string
+  val id : t -> int
+
+  val equal : t -> t -> bool
+  (** O(1), by id. Agrees with [String.equal] on the contents. *)
+
+  val compare : t -> t -> int
+  (** [String.compare] on the contents (id fast path on equality) —
+      canonical orders do not depend on interning order. *)
+
+  val hash : t -> int
+  (** Precomputed [Hashtbl.hash] of the contents. *)
+
+  val interned : unit -> int
+  (** Number of distinct strings interned so far. *)
+end
+
 type t =
   | Null
   | Bool of bool
   | Int of int
-  | Text of string
-  | Link of string  (** URL of the referenced page *)
+  | Text of Atom.t
+  | Link of Atom.t  (** URL of the referenced page *)
   | Rows of tuple list  (** multi-valued nested attribute *)
 
 and tuple = (string * t) list
@@ -32,7 +62,7 @@ val to_string : t -> string
 val to_display : t -> string
 (** Atom rendering without quoting; nested rows summarized. *)
 
-(** Constructors. *)
+(** Constructors. [text]/[link] intern their argument. *)
 
 val text : string -> t
 val int : int -> t

@@ -37,7 +37,7 @@ let link_occurrences (rel : Adm.Relation.t) (steps : string list) =
     | [] -> []
     | [ last ] -> (
       match Adm.Value.find tuple last with
-      | Some (Adm.Value.Link u) -> [ (u, ctx) ]
+      | Some (Adm.Value.Link u) -> [ (Adm.Value.Atom.str u, ctx) ]
       | _ -> [])
     | step :: rest -> (
       match Adm.Value.find tuple step with
@@ -80,7 +80,7 @@ let constraints_for_link (instance : Websim.Crawler.instance)
       let candidates =
         match occurrences with
         | (u, ctx) :: _ -> (
-          match Hashtbl.find_opt target_by_url (url_key (Adm.Value.Link u)) with
+          match Hashtbl.find_opt target_by_url (url_key (Adm.Value.link u)) with
           | None -> []
           | Some target_tuple ->
             List.concat_map
@@ -97,7 +97,7 @@ let constraints_for_link (instance : Websim.Crawler.instance)
       let holds (src_path, b) =
         List.for_all
           (fun (u, ctx) ->
-            match Hashtbl.find_opt target_by_url (url_key (Adm.Value.Link u)) with
+            match Hashtbl.find_opt target_by_url (url_key (Adm.Value.link u)) with
             | None -> true (* dangling link: no evidence either way *)
             | Some target_tuple -> (
               match List.assoc_opt src_path ctx, Adm.Value.find target_tuple b with

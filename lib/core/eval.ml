@@ -16,7 +16,7 @@ exception Not_computable = Physplan.Not_computable
 
 type source = Exec.source = {
   fetch : scheme:string -> url:string -> Adm.Value.tuple option;
-  prefetch : string list -> unit;
+  prefetch : scheme:string -> string list -> unit;
   describe : string;
   window : int;
 }
@@ -36,7 +36,7 @@ let fetcher_source (schema : Adm.Schema.t) (fetcher : Websim.Fetcher.t) =
   in
   {
     fetch;
-    prefetch = (fun urls -> Websim.Fetcher.prefetch fetcher urls);
+    prefetch = (fun ~scheme:_ urls -> Websim.Fetcher.prefetch fetcher urls);
     describe = "fetcher";
     window = Websim.Fetcher.window fetcher;
   }
@@ -58,7 +58,7 @@ let live_source ?(cache = true) (schema : Adm.Schema.t) (http : Websim.Http.t) =
 let instance_source (instance : Websim.Crawler.instance) =
   {
     fetch = (fun ~scheme ~url -> Websim.Crawler.tuple_of_url instance ~scheme ~url);
-    prefetch = ignore;
+    prefetch = (fun ~scheme:_ _ -> ());
     describe = "instance";
     window = 32;
   }

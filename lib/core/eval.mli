@@ -12,7 +12,7 @@ exception Not_computable of string
 type source = Exec.source = {
   fetch : scheme:string -> url:string -> Adm.Value.tuple option;
       (** the page tuple for a URL, or [None] when the page is gone *)
-  prefetch : string list -> unit;
+  prefetch : scheme:string -> string list -> unit;
       (** batch hint: a navigation is about to fetch these URLs *)
   describe : string;
   window : int;

@@ -22,13 +22,19 @@
    - [Stream_unnest] expands each batch against the statically
      inferred inner header, so the header never depends on the data.
 
+   Batches are value arrays, not cons lists: each operator fills a
+   flat [row array] (rows themselves are positional value arrays, so a
+   batch is a row-major column block), sized once per batch — O(1)
+   length, no per-row cons cells on the hot path, and the run buffer
+   blits batches instead of walking them.
+
    Per-operator counters (rows, batches, page accesses) feed
    [explain --physical] and the exec benchmark. *)
 
 type source = {
   fetch : scheme:string -> url:string -> Adm.Value.tuple option;
       (* the page tuple for a URL, or None when the page is gone *)
-  prefetch : string list -> unit;
+  prefetch : scheme:string -> string list -> unit;
       (* batch hint: a navigation is about to fetch these URLs *)
   describe : string;
   window : int; (* prefetch window the executor hands to [prefetch] *)
@@ -53,10 +59,74 @@ type metrics = {
    once outside the (separately counted) operator state. *)
 let peak_resident_rows m = max m.max_batch_rows m.peak_queue_rows
 
+type batch = Adm.Relation.row array
+
 type cursor = {
   attrs : string list;
-  next : unit -> Adm.Relation.row list option; (* batches are non-empty *)
+  next : unit -> batch option; (* batches are non-empty *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Array batch helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* In-place-style filter: collect surviving indices, then copy once. *)
+let afilter p (a : batch) : batch =
+  let n = Array.length a in
+  let idx = Array.make n 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if p a.(i) then begin
+      idx.(!k) <- i;
+      incr k
+    end
+  done;
+  if !k = n then a
+  else if !k = 0 then [||]
+  else begin
+    let out = Array.make !k a.(idx.(0)) in
+    for j = 1 to !k - 1 do
+      out.(j) <- a.(idx.(j))
+    done;
+    out
+  end
+
+(* filter_map into a batch allocated lazily at source size. *)
+let afilter_map f (a : batch) : batch =
+  let n = Array.length a in
+  let buf = ref [||] in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    match f a.(i) with
+    | None -> ()
+    | Some row ->
+      if !k = 0 then buf := Array.make n row;
+      !buf.(!k) <- row;
+      incr k
+  done;
+  if !k = n then !buf else if !k = 0 then [||] else Array.sub !buf 0 !k
+
+(* Growable batch for operators whose per-row fan-out varies
+   (joins, unnests): amortized doubling, one copy at the end. *)
+module Rowbuf = struct
+  type t = { mutable arr : Adm.Relation.row array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+
+  let push b row =
+    if b.len = Array.length b.arr then begin
+      let grown = Array.make (max 16 (2 * b.len)) row in
+      Array.blit b.arr 0 grown 0 b.len;
+      b.arr <- grown
+    end;
+    b.arr.(b.len) <- row;
+    b.len <- b.len + 1
+
+  let push_list b rows = List.iter (push b) rows
+
+  let contents b : batch =
+    if b.len = Array.length b.arr then b.arr else Array.sub b.arr 0 b.len
+end
 
 (* ------------------------------------------------------------------ *)
 (* Page-scheme helpers (shared with the legacy evaluator)              *)
@@ -97,7 +167,7 @@ let page_row_builder names =
 let pages_relation schema source ~scheme ~alias urls =
   let names = scheme_attr_names schema scheme in
   let row_of_tuple = page_row_builder names in
-  source.prefetch urls;
+  source.prefetch ~scheme urls;
   let rows =
     List.filter_map
       (fun url -> Option.map row_of_tuple (source.fetch ~scheme ~url))
@@ -168,7 +238,7 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
           match c.next () with
           | None -> None
           | Some batch ->
-            let n = List.length batch in
+            let n = Array.length batch in
             m.rows_out <- m.rows_out + n;
             m.batches_out <- m.batches_out + 1;
             if n > metrics.max_batch_rows then metrics.max_batch_rows <- n;
@@ -190,13 +260,13 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
           if !spent then None
           else begin
             spent := true;
-            source.prefetch [ url ];
+            source.prefetch ~scheme [ url ];
             m.pages <- m.pages + 1;
             match source.fetch ~scheme ~url with
             | None -> None
             | Some tuple ->
               let row = build tuple in
-              if pred row then Some [ row ] else None
+              if pred row then Some [| row |] else None
           end
         in
         { attrs; next }
@@ -208,7 +278,7 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
           match c.next () with
           | None -> None
           | Some batch -> (
-            match List.filter p batch with [] -> next () | kept -> Some kept)
+            match afilter p batch with [||] -> next () | kept -> Some kept)
         in
         { attrs = c.attrs; next }
       | Physplan.Project { attrs; input } ->
@@ -231,7 +301,7 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
           match c.next () with
           | None -> None
           | Some batch -> (
-            match List.filter_map fresh batch with [] -> next () | kept -> Some kept)
+            match afilter_map fresh batch with [||] -> next () | kept -> Some kept)
         in
         { attrs; next }
       | Physplan.Hash_join { keys; left; right; build_left } ->
@@ -261,7 +331,7 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
               match build_c.next () with
               | None -> ()
               | Some batch ->
-                List.iter
+                Array.iter
                   (fun row ->
                     if not (has_null build_k row) then begin
                       Adm.Relation.Row_tbl.add tbl (key_of build_k row) row;
@@ -286,7 +356,9 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
           match probe_c.next () with
           | None -> None
           | Some batch -> (
-            match List.concat_map emit batch with [] -> next () | out -> Some out)
+            let buf = Rowbuf.create () in
+            Array.iter (fun row -> Rowbuf.push_list buf (emit row)) batch;
+            match Rowbuf.contents buf with [||] -> next () | out -> Some out)
         in
         { attrs = out_attrs; next }
       | Physplan.Stream_unnest { attr; expect; input } ->
@@ -356,7 +428,9 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
           match c.next () with
           | None -> None
           | Some batch -> (
-            match List.concat_map expand batch with [] -> next () | out -> Some out)
+            let buf = Rowbuf.create () in
+            Array.iter (fun row -> Rowbuf.push_list buf (expand row)) batch;
+            match Rowbuf.contents buf with [||] -> next () | out -> Some out)
         in
         { attrs = out_attrs; next }
       | Physplan.Follow_links { src; link; scheme; alias; filter } ->
@@ -385,17 +459,18 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
             match src_c.next () with
             | None -> src_done := true
             | Some batch ->
-              List.iter (fun r -> Queue.add r pending) batch;
+              Array.iter (fun r -> Queue.add r pending) batch;
               let q = Queue.length pending in
               if q > metrics.peak_queue_rows then metrics.peak_queue_rows <- q
           done
         in
         let take_group () =
-          let rec go k acc =
-            if k = 0 || Queue.is_empty pending then List.rev acc
-            else go (k - 1) (Queue.pop pending :: acc)
-          in
-          go window []
+          let k = min window (Queue.length pending) in
+          let g = Array.make k (Queue.peek pending) in
+          for i = 0 to k - 1 do
+            g.(i) <- Queue.pop pending
+          done;
+          g
         in
         let rec next () =
           refill ();
@@ -406,19 +481,21 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
                order: one prefetch window for the fetch engine *)
             let fresh = Hashtbl.create 16 in
             let want =
-              List.filter_map
+              let acc = ref [] in
+              Array.iter
                 (fun row ->
                   match Adm.Value.as_link row.(link_off) with
                   | Some url
                     when (not (Hashtbl.mem pages url)) && not (Hashtbl.mem fresh url)
                     ->
                     Hashtbl.add fresh url ();
-                    Some url
-                  | Some _ | None -> None)
-                group
+                    acc := url :: !acc
+                  | Some _ | None -> ())
+                group;
+              List.rev !acc
             in
             if want <> [] then begin
-              source.prefetch want;
+              source.prefetch ~scheme want;
               List.iter
                 (fun url ->
                   let target =
@@ -430,7 +507,7 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
                 want
             end;
             let out =
-              List.filter_map
+              afilter_map
                 (fun row ->
                   match Adm.Value.as_link row.(link_off) with
                   | None -> None
@@ -442,7 +519,7 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
                     | Some None | None -> None))
                 group
             in
-            match out with [] -> next () | _ -> Some out
+            match out with [||] -> next () | _ -> Some out
           end
         in
         { attrs = out_attrs; next }
@@ -486,7 +563,7 @@ type run = {
   r_root : cursor;
   r_metrics : metrics;
   r_limit : int option;
-  mutable r_buf : Adm.Relation.row list; (* newest first *)
+  mutable r_buf : batch list; (* newest batch first *)
   mutable r_count : int;
   mutable r_done : bool;
 }
@@ -524,14 +601,14 @@ let step (r : run) : progress =
         r.r_done <- true;
         `Done
       | Some batch ->
-        let n = List.length batch in
-        List.iter (fun row -> r.r_buf <- row :: r.r_buf) batch;
+        let n = Array.length batch in
+        r.r_buf <- batch :: r.r_buf;
         r.r_count <- r.r_count + n;
         `Pulled n
   end
 
 let snapshot (r : run) : Adm.Relation.t =
-  let rows = List.rev r.r_buf in
+  let rows = List.concat_map Array.to_list (List.rev r.r_buf) in
   let rows = match r.r_limit with Some l -> take l rows | None -> rows in
   r.r_metrics.result_rows <- List.length rows;
   Adm.Relation.of_seq r.r_root.attrs (List.to_seq rows)

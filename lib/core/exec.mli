@@ -11,7 +11,7 @@
 type source = {
   fetch : scheme:string -> url:string -> Adm.Value.tuple option;
       (** the page tuple for a URL, or [None] when the page is gone *)
-  prefetch : string list -> unit;
+  prefetch : scheme:string -> string list -> unit;
       (** batch hint: a navigation is about to fetch these URLs *)
   describe : string;
   window : int;  (** prefetch window the executor hands to [prefetch] *)

@@ -101,7 +101,7 @@ let materialize ?fetcher (schema : Adm.Schema.t) (http : Websim.Http.t) : t =
         (fun tuple ->
           match Adm.Value.find tuple Adm.Page_scheme.url_attr with
           | Some (Adm.Value.Link url) ->
-            Hashtbl.replace tbl url { tuple; access_date = now }
+            Hashtbl.replace tbl (Adm.Value.Atom.str url) { tuple; access_date = now }
           | _ -> ())
         (Adm.Relation.rows rel))
     instance.Websim.Crawler.relations;
@@ -222,7 +222,7 @@ let url_check t ~scheme ~url =
 let source t : Eval.source =
   {
     Eval.fetch = (fun ~scheme ~url -> url_check t ~scheme ~url);
-    prefetch = ignore (* URLCheck is per-tuple: HEADs, not page batches *);
+    prefetch = (fun ~scheme:_ _ -> ()) (* URLCheck is per-tuple: HEADs, not page batches *);
     describe = "materialized";
     window = 32 (* batching granularity only: URLCheck work is per-tuple *);
   }
@@ -295,7 +295,8 @@ let full_refresh t =
       List.iter
         (fun tuple ->
           match Adm.Value.find tuple Adm.Page_scheme.url_attr with
-          | Some (Adm.Value.Link url) -> Hashtbl.replace tbl url { tuple; access_date = now }
+          | Some (Adm.Value.Link url) ->
+            Hashtbl.replace tbl (Adm.Value.Atom.str url) { tuple; access_date = now }
           | _ -> ())
         (Adm.Relation.rows rel))
     instance.Websim.Crawler.relations

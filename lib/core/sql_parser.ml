@@ -178,7 +178,7 @@ let resolve_column (registry : View.registry) (from : (string * string) list)
 
 let resolve_operand registry from = function
   | Col c -> Pred.Attr (resolve_column registry from c)
-  | Str s -> Pred.Const (Adm.Value.Text s)
+  | Str s -> Pred.Const (Adm.Value.text s)
   | Num i -> Pred.Const (Adm.Value.Int i)
 
 (* Shared by [parse] and [parse_unchecked]: name resolution without

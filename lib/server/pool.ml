@@ -1,0 +1,111 @@
+(* A fixed pool of OCaml 5 domains for the *pure* stages of the
+   server: wrapper extraction of prefetched windows and workload
+   planning. The scheduler itself stays single-threaded — quantum
+   order, fetch order and the simulated clock are its determinism
+   contract — and only work whose result is independent of execution
+   order is handed to the pool. Combined with order-preserving [map],
+   an N-domain run is observationally identical to the 1-domain run
+   (the determinism property of test_server exercises exactly this).
+
+   [create ~domains:1] spawns nothing and runs every task inline, so
+   the sequential path has zero synchronization overhead. *)
+
+type task = Task of (unit -> unit) | Quit
+
+type t = {
+  domains : int;
+  mutable workers : unit Domain.t array; (* empty when [domains = 1] *)
+  queue : task Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let size t = t.domains
+
+let worker_loop pool () =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue do
+      Condition.wait pool.nonempty pool.lock
+    done;
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.lock;
+    match task with
+    | Quit -> ()
+    | Task f ->
+      f ();
+      loop ()
+  in
+  loop ()
+
+let create ~domains =
+  let domains = max 1 domains in
+  let pool =
+    {
+      domains;
+      workers = [||];
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+    }
+  in
+  if domains > 1 then
+    pool.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let shutdown t =
+  if (not t.closed) && Array.length t.workers > 0 then begin
+    Mutex.lock t.lock;
+    Array.iter (fun _ -> Queue.push Quit t.queue) t.workers;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers
+  end;
+  t.closed <- true
+
+(* Order-preserving parallel map: results land by index, the caller
+   also drains the queue (so a 2-domain pool has 2 active lanes), and
+   the first exception raised by any task is re-raised here. *)
+let map_array t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if Array.length t.workers = 0 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let remaining = Atomic.make n in
+    let run_task i =
+      (match f xs.(i) with
+      | y -> results.(i) <- Some y
+      | exception e ->
+        ignore (Atomic.compare_and_set failure None (Some e)));
+      Atomic.decr remaining
+    in
+    Mutex.lock t.lock;
+    for i = 0 to n - 1 do
+      Queue.push (Task (fun () -> run_task i)) t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    (* help drain: the calling domain is a worker too *)
+    let rec help () =
+      Mutex.lock t.lock;
+      let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+      Mutex.unlock t.lock;
+      match task with
+      | Some (Task f) ->
+        f ();
+        help ()
+      | Some Quit | None -> ()
+    in
+    help ();
+    while Atomic.get remaining > 0 do
+      Domain.cpu_relax ()
+    done;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map (function Some y -> y | None -> assert false) results
+  end
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))

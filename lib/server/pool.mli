@@ -1,0 +1,27 @@
+(** A fixed pool of OCaml 5 domains for the pure stages of the server
+    (wrapper extraction of prefetched windows, workload planning).
+
+    The scheduler's quantum order, fetch order and simulated clock
+    stay single-threaded; only order-independent work runs on the
+    pool, and {!map} preserves input order — so an N-domain run is
+    observationally identical to the 1-domain run. *)
+
+type t
+
+val create : domains:int -> t
+(** [domains] total execution lanes including the caller; [domains-1]
+    worker domains are spawned. [create ~domains:1] spawns nothing and
+    runs tasks inline with no synchronization. Values < 1 clamp to 1. *)
+
+val size : t -> int
+(** The configured lane count (≥ 1). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel, order-preserving map. The calling domain helps drain the
+    task queue. The first exception raised by any task is re-raised. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val shutdown : t -> unit
+(** Join the workers. Idempotent; required before program exit when
+    [domains > 1]. *)

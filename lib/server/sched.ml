@@ -16,7 +16,28 @@
    not an error). The same degradation path serves circuit-open
    periods: when the shared engine's breaker fast-fails a page and a
    materialized store is available, the query uses the stale stored
-   tuple and the staleness is counted in its completeness report. *)
+   tuple and the staleness is counted in its completeness report.
+
+   Domains and lanes. With [config.domains = D] the scheduler models a
+   D-domain server by greedy list scheduling at quantum granularity:
+   each quantum whose fetching advanced the simulated clock is charged
+   to the lane with the earliest frontier (deterministic tie-break by
+   index), starting no earlier than the end of the same query's
+   previous quantum — a query's own chain stays sequential, but any
+   free domain picks up the next runnable quantum, which is exactly
+   how {!Pool} distributes work. Per-query pinning was rejected: the
+   lane is chosen at admission, before anyone knows which queries are
+   cold and expensive, so two first-of-template giants can stack on
+   one lane and cap the speedup no matter the tie-break. The
+   *decisions* (admission, pick order, fetch order, netmodel draws,
+   deadline cuts — checked against the domain-independent global fetch
+   clock) are exactly those of the sequential run at every D, so
+   results, distinct-GET sets and the sharing ledger are
+   byte-identical across domain counts; only the time accounting fans
+   out. Makespan is the largest lane frontier, and D = 1 degenerates
+   to the old single-clock numbers exactly. Real domains still run the
+   pure stages (wrapper extraction of prefetched windows, workload
+   planning) through {!Pool}. *)
 
 type policy = Round_robin | Priority
 
@@ -25,13 +46,15 @@ type config = {
   quantum : int; (* Exec.step calls per scheduler turn *)
   policy : policy;
   max_resident_rows : int; (* admission-control row budget *)
+  domains : int; (* simulated execution lanes; 1 = sequential *)
 }
 
 let config ?(concurrency = 8) ?(quantum = 4) ?(policy = Round_robin)
-    ?(max_resident_rows = 100_000) () =
+    ?(max_resident_rows = 100_000) ?(domains = 1) () =
   if concurrency < 1 then invalid_arg "Sched.config: concurrency < 1";
   if quantum < 1 then invalid_arg "Sched.config: quantum < 1";
-  { concurrency; quantum; policy; max_resident_rows }
+  if domains < 1 then invalid_arg "Sched.config: domains < 1";
+  { concurrency; quantum; policy; max_resident_rows; domains }
 
 let default_config = config ()
 
@@ -47,16 +70,33 @@ type spec = {
 (* Planning a workload into specs                                      *)
 (* ------------------------------------------------------------------ *)
 
-let plan_workload (schema : Adm.Schema.t) (stats : Webviews.Stats.t)
+(* Workloads draw from small template pools, so plan each distinct SQL
+   text once; the distinct texts plan in parallel on the pool when one
+   is given (planning is pure — costs, rewrites, no network). *)
+let plan_workload ?pool (schema : Adm.Schema.t) (stats : Webviews.Stats.t)
     (registry : Webviews.View.registry) (entries : Workload.entry list) :
     spec list =
+  let texts =
+    List.sort_uniq String.compare
+      (List.map (fun (e : Workload.entry) -> e.Workload.sql) entries)
+  in
+  let plan sql =
+    (sql, (Webviews.Planner.plan_sql schema stats registry sql).Webviews.Planner.best)
+  in
+  let planned =
+    match pool with
+    | Some p when List.length texts > 1 -> Pool.map p plan texts
+    | _ -> List.map plan texts
+  in
+  let by_sql = Hashtbl.create 16 in
+  List.iter (fun (sql, best) -> Hashtbl.replace by_sql sql best) planned;
   List.mapi
     (fun i (e : Workload.entry) ->
-      let outcome = Webviews.Planner.plan_sql schema stats registry e.Workload.sql in
+      let best = Hashtbl.find by_sql e.Workload.sql in
       {
         qid = i;
         label = e.Workload.sql;
-        expr = outcome.Webviews.Planner.best.Webviews.Planner.expr;
+        expr = best.Webviews.Planner.expr;
         priority = e.Workload.priority;
         deadline_ms = e.Workload.deadline_ms;
       })
@@ -80,7 +120,10 @@ type result = {
   label : string;
   rows : Adm.Relation.t;
   completeness : completeness;
-  elapsed_ms : float; (* simulated: finalized - admitted *)
+  elapsed_ms : float; (* simulated lane-model time: admit → final *)
+  service_ms : float; (* lane time this query's own fetching consumed *)
+  wait_ms : float; (* elapsed - service: queueing behind other quanta *)
+  lane : int; (* lane of the query's latest charged quantum *)
   steps : int;
 }
 
@@ -101,7 +144,11 @@ type job = {
   mutable steps : int;
   mutable stale_pages : int;
   mutable missing_pages : int;
-  mutable admitted_ms : float;
+  mutable lane : int; (* lane of the latest charged quantum *)
+  admitted_ms : float; (* lane-model (virtual) time at admission *)
+  clock_admitted : float; (* global fetch clock at admission: deadlines *)
+  mutable chain_end : float; (* virtual end of the latest charged quantum *)
+  mutable service_ms : float; (* lane time charged to this query *)
 }
 
 let job_finished j =
@@ -132,20 +179,20 @@ let job_rows j =
   | Eager_done r -> r
 
 (* The per-query page source: the shared cache with this query's
-   identity attached, degraded to the materialized store's stale tuple
-   when the network (or the open breaker) makes a page unreachable. *)
+   identity attached — pages arrive through the extracted-tuple tier,
+   so wrapping is paid once per distinct (scheme, url) — degraded to
+   the materialized store's stale tuple when the network (or the open
+   breaker) makes a page unreachable. *)
 let job_source cache ~qid ?stale (schema : Adm.Schema.t) counters :
     Webviews.Eval.source =
   let stale_count, missing_count = counters in
   let fetch ~scheme ~url =
-    match Shared_cache.get cache ~query:qid url with
-    | Websim.Fetcher.Fetched page ->
-      let ps = Adm.Schema.find_scheme_exn schema scheme in
-      Some (Websim.Wrapper.extract ps ~url page.Websim.Fetcher.body)
-    | Websim.Fetcher.Absent ->
+    match Shared_cache.fetch_tuple cache ~query:qid schema ~scheme ~url with
+    | Shared_cache.Tuple tuple -> Some tuple
+    | Shared_cache.Absent ->
       incr missing_count;
       None
-    | Websim.Fetcher.Unreachable -> (
+    | Shared_cache.Unreachable -> (
       match stale with
       | None ->
         incr missing_count;
@@ -161,7 +208,8 @@ let job_source cache ~qid ?stale (schema : Adm.Schema.t) counters :
   in
   {
     Webviews.Eval.fetch;
-    prefetch = (fun urls -> Shared_cache.prefetch cache ~query:qid urls);
+    prefetch =
+      (fun ~scheme urls -> Shared_cache.prefetch_extract cache ~query:qid schema ~scheme urls);
     describe = Fmt.str "shared/q%d" qid;
     window = Websim.Fetcher.window (Shared_cache.fetcher cache);
   }
@@ -174,9 +222,15 @@ type report = {
   results : result list; (* in qid order *)
   ledger : Shared_cache.ledger;
   fetch : Websim.Fetcher.report; (* shared-engine work, as a delta *)
-  makespan_ms : float;
+  makespan_ms : float; (* largest lane frontier *)
   p50_ms : float; (* per-query elapsed percentiles *)
   p95_ms : float;
+  p50_service_ms : float; (* own fetch work: the latency floor *)
+  p95_service_ms : float;
+  p50_wait_ms : float; (* queueing behind other quanta *)
+  p95_wait_ms : float;
+  domains : int;
+  lane_busy_ms : float list; (* per-lane accumulated busy time *)
   peak_resident_queries : int;
   peak_resident_rows : int;
   turns : int;
@@ -188,21 +242,38 @@ let percentile q xs =
   | [] -> 0.0
   | _ ->
     let arr = Array.of_list xs in
-    Array.sort compare arr;
+    Array.sort Float.compare arr;
     let n = Array.length arr in
-    let rank = int_of_float (ceil (q *. float_of_int n)) in
-    arr.(max 0 (min (n - 1) (rank - 1)))
+    let rank = q *. float_of_int n in
+    if Float.is_nan rank then arr.(0)
+    else
+      let rank = int_of_float (ceil rank) in
+      arr.(max 0 (min (n - 1) (rank - 1)))
 
 (* ------------------------------------------------------------------ *)
 (* The scheduler loop                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let run ?stale (cfg : config) (cache : Shared_cache.t)
-    (schema : Adm.Schema.t) (specs : spec list) : report =
+let run ?stale ?on_result ?(keep_rows = true) (cfg : config)
+    (cache : Shared_cache.t) (schema : Adm.Schema.t) (specs : spec list) :
+    report =
   let fetcher = Shared_cache.fetcher cache in
   let now () = Websim.Fetcher.now_ms fetcher in
   let fetch_before = Shared_cache.report cache in
-  let started_ms = now () in
+  (* Lane frontiers start at 0; the global fetch clock keeps running
+     wherever the netmodel left it. [lane_clock] is each lane's
+     frontier including dependency stalls (a quantum may have to wait
+     for its query's previous quantum on another lane); [lane_busy] is
+     charged work only, so the busy times sum to the total service. *)
+  let lane_clock = Array.make cfg.domains 0.0 in
+  let lane_busy = Array.make cfg.domains 0.0 in
+  let least_loaded () =
+    let best = ref 0 in
+    for i = 1 to cfg.domains - 1 do
+      if lane_clock.(i) < lane_clock.(!best) then best := i
+    done;
+    !best
+  in
   let pending = Queue.create () in
   List.iter (fun s -> Queue.add s pending) specs;
   (* Each resident entry carries the job and the counter cells its
@@ -233,21 +304,43 @@ let run ?stale (cfg : config) (cache : Shared_cache.t)
         missing_pages = j.missing_pages;
       }
     in
-    finished :=
+    (* Normal completion: the chain's end is the finish time. A
+       deadline cut is clamped up to the deadline itself — the query
+       was held until its budget ran out before being finalized. *)
+    let elapsed =
+      let e = j.chain_end -. j.admitted_ms in
+      match (deadline_hit, j.spec.deadline_ms) with
+      | true, Some d -> Float.max e d
+      | _ -> e
+    in
+    let result =
       {
         qid = j.spec.qid;
         label = j.spec.label;
         rows;
         completeness;
-        elapsed_ms = now () -. j.admitted_ms;
+        elapsed_ms = elapsed;
+        service_ms = j.service_ms;
+        wait_ms = Float.max 0.0 (elapsed -. j.service_ms);
+        lane = j.lane;
         steps = j.steps;
       }
-      :: !finished
+    in
+    (match on_result with Some f -> f result | None -> ());
+    let stored =
+      if keep_rows then result
+      else { result with rows = Adm.Relation.empty (Adm.Relation.attrs rows) }
+    in
+    finished := stored :: !finished
   in
+  (* Deadlines are checked against the global fetch clock, which is
+     the same at every domain count — so the set of cut queries (and
+     with it every result) is domain-independent by construction. At
+     D = 1 this is exactly the old lane-clock check. *)
   let deadline_passed j =
     match j.spec.deadline_ms with
     | None -> false
-    | Some d -> now () -. j.admitted_ms >= d
+    | Some d -> now () -. j.clock_admitted >= d
   in
   let pick () =
     (* One comparator serves both policies: priority is flattened to a
@@ -262,10 +355,10 @@ let run ?stale (cfg : config) (cache : Shared_cache.t)
            (fun best cand ->
              let (bj, _, _) = best and (cj, _, _) = cand in
              let cmp =
-               match compare (weight bj) (weight cj) with
+               match Int.compare (weight bj) (weight cj) with
                | 0 -> (
-                 match compare cj.last_turn bj.last_turn with
-                 | 0 -> compare cj.spec.qid bj.spec.qid
+                 match Int.compare cj.last_turn bj.last_turn with
+                 | 0 -> Int.compare cj.spec.qid bj.spec.qid
                  | c -> c)
                | c -> c
              in
@@ -294,6 +387,10 @@ let run ?stale (cfg : config) (cache : Shared_cache.t)
         | plan -> Streaming (Webviews.Exec.start schema source plan)
         | exception Webviews.Physplan.Not_streamable _ -> Eager spec.expr
       in
+      (* The admission stamp is the earliest lane frontier: the first
+         moment any domain could have picked the query up. *)
+      let lane = least_loaded () in
+      let admitted_ms = lane_clock.(lane) in
       let job =
         {
           spec;
@@ -303,15 +400,42 @@ let run ?stale (cfg : config) (cache : Shared_cache.t)
           steps = 0;
           stale_pages = 0;
           missing_pages = 0;
-          admitted_ms = now ();
+          lane;
+          admitted_ms;
+          clock_admitted = now ();
+          chain_end = admitted_ms;
+          service_ms = 0.0;
         }
       in
       resident := !resident @ [ (job, stale_c, missing_c) ]
     done
   in
+  (* Leadership rotation. In a fixed round-robin cycle the same
+     member of a group of same-plan queries always reaches the
+     uncached pages first, so one query absorbs the group's entire
+     cold fetch chain — and that chain bounds the makespan at every
+     domain count. Real concurrent same-plan queries leapfrog: while
+     one blocks on a window (single-flight), the other issues the
+     next, splitting the chain. Model that by sending the cycle's
+     front to the back without running it once every [cfg.quantum]
+     turns, which shifts the cycle start by one and rotates who
+     fetches next (a measured optimum: slower rotation lets one
+     leader re-absorb the chain, faster rotation thrashes the
+     cycle). The tick is a pure function of the turn counter, so the
+     interleaving — and with it every result — stays identical at
+     every domain count. Strict [Priority] ordering is untouched. *)
+  let rotate () =
+    if cfg.policy = Round_robin && !turn mod cfg.quantum = 0 then
+      match pick () with
+      | Some (j, _, _) when List.length !resident > 1 ->
+        incr turn;
+        j.last_turn <- !turn
+      | _ -> ()
+  in
   let rec loop () =
     admit ();
     peak_queries := max !peak_queries (List.length !resident);
+    rotate ();
     match pick () with
     | None -> ()
     | Some ((j, _, _) as entry) ->
@@ -323,10 +447,33 @@ let run ?stale (cfg : config) (cache : Shared_cache.t)
       end
       else begin
         let k = ref cfg.quantum in
+        let before = now () in
         while !k > 0 && (not (job_finished j)) && not (deadline_passed j) do
           job_step schema j;
           decr k
         done;
+        (* Greedy list scheduling: charge the quantum's simulated
+           fetch time to the earliest-frontier lane, no earlier than
+           the end of this query's previous quantum; exec work itself
+           is free on the simulated clock. *)
+        let dt = now () -. before in
+        if dt > 0.0 then begin
+          let lane = least_loaded () in
+          let start = Float.max lane_clock.(lane) j.chain_end in
+          lane_clock.(lane) <- start +. dt;
+          lane_busy.(lane) <- lane_busy.(lane) +. dt;
+          j.chain_end <- start +. dt;
+          j.lane <- lane;
+          j.service_ms <- j.service_ms +. dt
+        end
+        else
+          (* An instant quantum (every page already cached) takes no
+             lane time but still runs no earlier than the earliest
+             lane frontier — a query that sat behind someone else's
+             fetching reports that wait. At D = 1 this is exactly the
+             old clock-at-finalize semantics. *)
+          j.chain_end <-
+            Float.max j.chain_end lane_clock.(least_loaded ());
         peak_rows :=
           max !peak_rows
             (List.fold_left (fun acc (j', _, _) -> acc + job_buffered j') 0 !resident);
@@ -343,18 +490,26 @@ let run ?stale (cfg : config) (cache : Shared_cache.t)
   in
   loop ();
   let results =
-    List.sort (fun a b -> compare a.qid b.qid) !finished
+    List.sort (fun a b -> Int.compare a.qid b.qid) !finished
   in
-  let elapsed = List.map (fun r -> r.elapsed_ms) results in
+  let elapsed = List.map (fun (r : result) -> r.elapsed_ms) results in
+  let service = List.map (fun (r : result) -> r.service_ms) results in
+  let wait = List.map (fun (r : result) -> r.wait_ms) results in
   {
     results;
     ledger = Shared_cache.ledger cache;
     fetch =
       Websim.Fetcher.report_diff ~before:fetch_before
         ~after:(Shared_cache.report cache);
-    makespan_ms = now () -. started_ms;
+    makespan_ms = Array.fold_left Float.max 0.0 lane_clock;
     p50_ms = percentile 0.50 elapsed;
     p95_ms = percentile 0.95 elapsed;
+    p50_service_ms = percentile 0.50 service;
+    p95_service_ms = percentile 0.95 service;
+    p50_wait_ms = percentile 0.50 wait;
+    p95_wait_ms = percentile 0.95 wait;
+    domains = cfg.domains;
+    lane_busy_ms = Array.to_list lane_busy;
     peak_resident_queries = !peak_queries;
     peak_resident_rows = !peak_rows;
     turns = !turn;
@@ -372,17 +527,20 @@ let pp_completeness ppf c =
       c.stale_pages c.missing_pages
 
 let pp_result ppf r =
-  Fmt.pf ppf "q%-3d %4d rows  %8.1f ms  %2d steps  %a  %s" r.qid
+  Fmt.pf ppf "q%-3d %4d rows  %8.1f ms (%0.1f svc + %0.1f wait, lane %d)  %2d steps  %a  %s"
+    r.qid
     (Adm.Relation.cardinality r.rows)
-    r.elapsed_ms r.steps pp_completeness r.completeness
+    r.elapsed_ms r.service_ms r.wait_ms r.lane r.steps pp_completeness r.completeness
     (if String.length r.label > 56 then String.sub r.label 0 53 ^ "..."
      else r.label)
 
 let pp_report ppf rep =
   Fmt.pf ppf
-    "@[<v>%a@,@,%a@,@,makespan: %.1f ms  per-query p50: %.1f ms  p95: %.1f ms@,\
+    "@[<v>%a@,@,%a@,@,domains: %d  makespan: %.1f ms@,\
+     per-query p50/p95: elapsed %.1f/%.1f ms  service %.1f/%.1f ms  wait %.1f/%.1f ms@,\
      peak resident: %d queries, %d rows  (%d scheduler turns)@,@,%a@]"
     (Fmt.list ~sep:Fmt.cut pp_result)
-    rep.results Shared_cache.pp_ledger rep.ledger rep.makespan_ms rep.p50_ms
-    rep.p95_ms rep.peak_resident_queries rep.peak_resident_rows rep.turns
+    rep.results Shared_cache.pp_ledger rep.ledger rep.domains rep.makespan_ms
+    rep.p50_ms rep.p95_ms rep.p50_service_ms rep.p95_service_ms rep.p50_wait_ms
+    rep.p95_wait_ms rep.peak_resident_queries rep.peak_resident_rows rep.turns
     Websim.Fetcher.pp_report rep.fetch

@@ -13,7 +13,23 @@
     error — and when the network (or the open circuit breaker) makes a
     page unreachable, a materialized store passed as [stale] serves
     the stored tuple instead, with the staleness counted in the
-    query's completeness report. *)
+    query's completeness report.
+
+    Domains and lanes. With [config.domains = D] the scheduler models
+    a D-domain server by greedy list scheduling at quantum
+    granularity: every quantum's simulated fetch cost is charged to
+    the lane with the earliest frontier (deterministic tie-break by
+    index), starting no earlier than the end of the same query's
+    previous quantum — a query's own chain stays sequential, any free
+    domain picks up the next runnable quantum. Scheduler
+    {e decisions} — admission, pick order, fetch order, netmodel
+    draws, deadline cuts (checked against the domain-independent
+    global fetch clock) — are those of the sequential run at every D,
+    so results, distinct-GET sets and the sharing ledger are
+    byte-identical across domain counts; only the time accounting fans
+    out. Makespan is the largest lane frontier; D = 1 reproduces the
+    single-clock numbers exactly. Real domains run the pure stages
+    (window extraction, planning) through {!Pool}. *)
 
 type policy =
   | Round_robin  (** rotate through residents in admission order *)
@@ -25,12 +41,13 @@ type config = {
   policy : policy;
   max_resident_rows : int;
       (** stop admitting while residents buffer more rows than this *)
+  domains : int;  (** simulated execution lanes; 1 = sequential *)
 }
 
 val config :
   ?concurrency:int -> ?quantum:int -> ?policy:policy ->
-  ?max_resident_rows:int -> unit -> config
-(** Defaults: 8 residents, quantum 4, round-robin, 100k rows. *)
+  ?max_resident_rows:int -> ?domains:int -> unit -> config
+(** Defaults: 8 residents, quantum 4, round-robin, 100k rows, 1 domain. *)
 
 val default_config : config
 
@@ -43,10 +60,12 @@ type spec = {
 }
 
 val plan_workload :
-  Adm.Schema.t -> Webviews.Stats.t -> Webviews.View.registry ->
+  ?pool:Pool.t -> Adm.Schema.t -> Webviews.Stats.t -> Webviews.View.registry ->
   Workload.entry list -> spec list
 (** Plan each workload entry with {!Webviews.Planner.plan_sql} and
-    number the specs in order. *)
+    number the specs in order. Each distinct SQL text is planned once
+    (workloads draw from small template pools); the distinct texts
+    plan in parallel when a pool is given. *)
 
 type completeness = {
   complete : bool;
@@ -62,7 +81,10 @@ type result = {
   label : string;
   rows : Adm.Relation.t;  (** partial unless [completeness.complete] *)
   completeness : completeness;
-  elapsed_ms : float;  (** simulated, admission to finalization *)
+  elapsed_ms : float;  (** simulated lane-model time: admit → final *)
+  service_ms : float;  (** lane time this query's own fetching consumed *)
+  wait_ms : float;  (** [elapsed - service]: queueing behind other quanta *)
+  lane : int;  (** lane of the query's latest charged quantum *)
   steps : int;
 }
 
@@ -70,9 +92,15 @@ type report = {
   results : result list;  (** in qid order *)
   ledger : Shared_cache.ledger;  (** the cross-query sharing proof *)
   fetch : Websim.Fetcher.report;  (** shared-engine work, as a delta *)
-  makespan_ms : float;
+  makespan_ms : float;  (** largest lane frontier *)
   p50_ms : float;  (** per-query elapsed percentiles (fairness) *)
   p95_ms : float;
+  p50_service_ms : float;  (** own fetch work: the latency floor *)
+  p95_service_ms : float;
+  p50_wait_ms : float;  (** queueing behind other quanta *)
+  p95_wait_ms : float;
+  domains : int;
+  lane_busy_ms : float list;  (** per-lane accumulated busy time *)
   peak_resident_queries : int;
   peak_resident_rows : int;
   turns : int;
@@ -80,14 +108,20 @@ type report = {
 
 val run :
   ?stale:Webviews.Matview.t ->
+  ?on_result:(result -> unit) ->
+  ?keep_rows:bool ->
   config -> Shared_cache.t -> Adm.Schema.t -> spec list -> report
 (** Run the workload to completion (every query finishes or hits its
     deadline). [stale] enables degradation to stored tuples for
-    unreachable pages. The [cache] is not reset: a pre-warmed or
-    reused cache simply yields more sharing, visible in the ledger. *)
+    unreachable pages. [on_result] observes each result at
+    finalization time (digesting, streaming out); with
+    [keep_rows:false] the report then stores each result with an empty
+    relation (header preserved) so 10^3-query runs do not retain 10^7
+    rows. The [cache] is not reset: a pre-warmed or reused cache
+    simply yields more sharing, visible in the ledger. *)
 
 val percentile : float -> float list -> float
-(** Nearest-rank percentile; 0.0 on the empty list. *)
+(** Nearest-rank percentile; 0.0 on the empty list, NaN-quantile safe. *)
 
 val pp_completeness : completeness Fmt.t
 val pp_result : result Fmt.t

@@ -1,27 +1,37 @@
 (** The shared page-cache tier of the concurrent query server.
 
     All resident queries fetch through one {!Websim.Fetcher.t}; its
-    LRU is the single-flight table — the first query to need a URL
-    pays the network GET, every later request from any query is a
-    cache hit. This module adds the accounting that proves the
-    sharing: per-query distinct request sets and the global distinct
-    wire set, summarized by the {!ledger} invariant
+    LRU is the wire-level single-flight table — the first query to
+    need a URL pays the network GET, every later request from any
+    query is a cache hit. This module adds (1) the accounting that
+    proves the sharing: per-query distinct request sets and the global
+    distinct wire set, summarized by the {!ledger} invariant
 
-    {[ cross_query_hits = sum_per_query - distinct_gets ]} *)
+    {[ cross_query_hits = sum_per_query - distinct_gets ]}
+
+    and (2) an extracted-tuple cache sharded by URL hash with one
+    mutex per shard: wrapping a page is paid once per distinct
+    (scheme, url), and prefetched windows are extracted in parallel on
+    the {!Pool} with each worker publishing into its shard under the
+    stripe lock. Per-query request sets are bitsets over a dense URL
+    interning, so 10^3-query ledgers over 10^5-page sites stay small. *)
 
 type t
 
-val wrap : Websim.Fetcher.t -> t
+val wrap : ?shards:int -> ?pool:Pool.t -> Websim.Fetcher.t -> t
 (** Share an existing fetch engine. Its cache should be large enough
     to hold the workload's page set ([cache_capacity]), or sharing
-    degrades to whatever survives eviction. *)
+    degrades to whatever survives eviction. [shards] (default 16,
+    rounded up to a power of two) stripes the tuple cache; [pool]
+    enables parallel extraction of prefetched windows. *)
 
 val create :
-  ?config:Websim.Fetcher.config -> ?netmodel:Websim.Netmodel.t ->
-  Websim.Http.t -> t
+  ?shards:int -> ?pool:Pool.t -> ?config:Websim.Fetcher.config ->
+  ?netmodel:Websim.Netmodel.t -> Websim.Http.t -> t
 (** [wrap] over a fresh fetcher ({!Websim.Fetcher.create}). *)
 
 val fetcher : t -> Websim.Fetcher.t
+val shard_count : t -> int
 
 val report : t -> Websim.Fetcher.report
 (** The shared engine's merged cost ledger (wire + engine). *)
@@ -33,10 +43,29 @@ val get : t -> query:int -> string -> Websim.Fetcher.page Websim.Fetcher.fetched
 val prefetch : t -> query:int -> string list -> unit
 (** Batch warm-up on behalf of [query] ({!Websim.Fetcher.prefetch}). *)
 
+type tuple_fetched =
+  | Tuple of Adm.Value.tuple
+  | Absent  (** the page does not exist *)
+  | Unreachable  (** transport failed after retries, or breaker open *)
+
+val fetch_tuple :
+  t -> query:int -> Adm.Schema.t -> scheme:string -> url:string -> tuple_fetched
+(** Fetch + wrap through the sharded tuple cache: a cached tuple skips
+    both the network and the HTML parse (the page access still counts
+    in the ledger). Failures are not cached — they re-consult the
+    fetch engine exactly as a cache-less run would. *)
+
+val prefetch_extract :
+  t -> query:int -> Adm.Schema.t -> scheme:string -> string list -> unit
+(** {!prefetch} the window, then extract the fresh page bodies into
+    the tuple cache — in parallel on the pool when one is attached.
+    Bodies are read with {!Websim.Fetcher.cached_body} (read-only), so
+    a pooled run perturbs neither clock nor fetch sequence. *)
+
 val source : t -> query:int -> Adm.Schema.t -> Webviews.Eval.source
 (** The page source query [query] evaluates over: same wrapper
     protocol as [Eval.fetcher_source], routed through the shared
-    engine with the query's identity attached for the ledger. *)
+    engine and tuple tier with the query's identity attached. *)
 
 val distinct_gets : t -> int
 (** Distinct URLs requested across all queries — the wire set size. *)
@@ -60,3 +89,16 @@ type ledger = {
 
 val ledger : t -> ledger
 val pp_ledger : ledger Fmt.t
+
+(** Stripe-lock measurements: how hard each shard mutex was worked and
+    whether anything ever waited on one. *)
+type contention = {
+  shards : int;
+  lock_acquisitions : int;
+  lock_contested : int;  (** takes that found the lock already held *)
+  tuples_cached : int;
+  max_shard_tuples : int;  (** occupancy of the fullest shard *)
+}
+
+val contention : t -> contention
+val pp_contention : contention Fmt.t

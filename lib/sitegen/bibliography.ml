@@ -249,9 +249,9 @@ let generate config =
 (* Pages                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let v_text s = Adm.Value.Text s
+let v_text s = Adm.Value.text s
 let v_int i = Adm.Value.Int i
-let v_link u = Adm.Value.Link u
+let v_link u = Adm.Value.link u
 
 let conf_list_rows confs =
   Adm.Value.Rows
@@ -396,7 +396,7 @@ let edition_authors_expr ~entry_scheme ~list_attr : Webviews.Nalg.expr =
   let conf_page =
     Nalg.follow
       (Nalg.select
-         [ Pred.eq_const (entry_scheme ^ "." ^ list_attr ^ ".CName") (Adm.Value.Text "VLDB") ]
+         [ Pred.eq_const (entry_scheme ^ "." ^ list_attr ^ ".CName") (Adm.Value.text "VLDB") ]
          (Nalg.unnest (Nalg.entry entry_scheme) (entry_scheme ^ "." ^ list_attr)))
       (entry_scheme ^ "." ^ list_attr ^ ".ToConf")
       ~scheme:"ConfPage"
@@ -431,7 +431,7 @@ let path3_direct_link () : Webviews.Nalg.expr =
 let path4_via_authors () : Webviews.Nalg.expr =
   let open Webviews in
   Nalg.select
-    [ Pred.eq_const "AuthorPage.PubList.CName" (Adm.Value.Text "VLDB") ]
+    [ Pred.eq_const "AuthorPage.PubList.CName" (Adm.Value.text "VLDB") ]
     (Nalg.unnest
        (Nalg.follow
           (Nalg.unnest (Nalg.entry "AuthorListPage") "AuthorListPage.AuthorList")

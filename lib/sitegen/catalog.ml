@@ -209,9 +209,9 @@ let generate config =
 (* Pages                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let v_text s = Adm.Value.Text s
+let v_text s = Adm.Value.text s
 let v_int i = Adm.Value.Int i
-let v_link u = Adm.Value.Link u
+let v_link u = Adm.Value.link u
 
 let product_rows products =
   Adm.Value.Rows

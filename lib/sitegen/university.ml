@@ -257,10 +257,26 @@ let all_sessions = [ "Fall"; "Winter"; "Spring"; "Summer" ]
 
 let pick rng arr = arr.(Random.State.int rng (Array.length arr))
 
+(* Scales to 10^5–10^6 pages: every draw indexes an array (never
+   [List.nth]), and the RNG call sequence is exactly the sequence of
+   the original list-based generator, so seeded ground truths are
+   unchanged at every size. *)
+(* [Array.init] with a guaranteed 0..n-1 application order (the stdlib
+   leaves it unspecified; the RNG draws below depend on it). *)
+let tabulate n f =
+  if n <= 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      a.(i) <- f i
+    done;
+    a
+  end
+
 let generate_ground_truth config =
   let rng = Random.State.make [| config.seed |] in
   let depts =
-    List.init config.n_depts (fun i ->
+    tabulate config.n_depts (fun i ->
         let d_name =
           if i < Array.length dept_names then dept_names.(i)
           else Fmt.str "Department %02d" (i + 1)
@@ -270,8 +286,11 @@ let generate_ground_truth config =
   let sessions =
     List.filteri (fun i _ -> i < max 1 config.n_sessions) all_sessions
   in
+  let session_arr = Array.of_list sessions in
+  let n_depts = Array.length depts in
+  let n_sessions = Array.length session_arr in
   let profs =
-    List.init config.n_profs (fun i ->
+    tabulate config.n_profs (fun i ->
         let p_name =
           Fmt.str "%s %s %02d" (pick rng first_names) (pick rng last_names) (i + 1)
         in
@@ -280,7 +299,7 @@ let generate_ground_truth config =
           else if Random.State.bool rng then "Associate"
           else "Assistant"
         in
-        let dept = List.nth depts (Random.State.int rng (List.length depts)) in
+        let dept = depts.(Random.State.int rng n_depts) in
         {
           p_name;
           rank;
@@ -288,11 +307,12 @@ let generate_ground_truth config =
           p_dept = dept.d_name;
         })
   in
+  let n_profs = Array.length profs in
   let courses =
     List.init config.n_courses (fun i ->
         let c_name = Fmt.str "Course %03d" (i + 1) in
-        let session = List.nth sessions (Random.State.int rng (List.length sessions)) in
-        let prof = List.nth profs (Random.State.int rng (List.length profs)) in
+        let session = session_arr.(Random.State.int rng n_sessions) in
+        let prof = profs.(Random.State.int rng n_profs) in
         let c_type =
           if Random.State.float rng 1.0 < config.grad_fraction then "Graduate"
           else "Undergraduate"
@@ -305,14 +325,14 @@ let generate_ground_truth config =
           instructor = prof.p_name;
         })
   in
-  (depts, profs, courses, sessions)
+  (Array.to_list depts, Array.to_list profs, courses, sessions)
 
 (* ------------------------------------------------------------------ *)
 (* Page rendering                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let v_text s = Adm.Value.Text s
-let v_link u = Adm.Value.Link u
+let v_text s = Adm.Value.text s
+let v_link u = Adm.Value.link u
 
 let home_tuple () : Adm.Value.tuple =
   [
@@ -330,8 +350,7 @@ let dept_list_tuple t : Adm.Value.tuple =
            t.depts) );
   ]
 
-let dept_tuple t (d : dept) : Adm.Value.tuple =
-  let members = List.filter (fun p -> String.equal p.p_dept d.d_name) t.profs in
+let dept_tuple_members (d : dept) members : Adm.Value.tuple =
   [
     ("DName", v_text d.d_name);
     ("Address", v_text d.address);
@@ -351,8 +370,7 @@ let prof_list_tuple t : Adm.Value.tuple =
            t.profs) );
   ]
 
-let prof_tuple t (p : prof) : Adm.Value.tuple =
-  let taught = List.filter (fun c -> String.equal c.instructor p.p_name) t.courses in
+let prof_tuple_taught (p : prof) taught : Adm.Value.tuple =
   [
     ("PName", v_text p.p_name);
     ("Rank", v_text p.rank);
@@ -375,8 +393,7 @@ let session_list_tuple t : Adm.Value.tuple =
            t.sessions) );
   ]
 
-let session_tuple t session : Adm.Value.tuple =
-  let in_session = List.filter (fun c -> String.equal c.c_session session) t.courses in
+let session_tuple_courses session in_session : Adm.Value.tuple =
   [
     ("Session", v_text session);
     ( "CourseList",
@@ -385,6 +402,18 @@ let session_tuple t session : Adm.Value.tuple =
            (fun c -> [ ("CName", v_text c.c_name); ("ToCourse", v_link (course_url c.c_name)) ])
            in_session) );
   ]
+
+(* Scan-based wrappers for single-page republication (mutations);
+   bulk publication groups once instead (see [publish_all]). *)
+let dept_tuple t (d : dept) =
+  dept_tuple_members d (List.filter (fun p -> String.equal p.p_dept d.d_name) t.profs)
+
+let prof_tuple t (p : prof) =
+  prof_tuple_taught p (List.filter (fun c -> String.equal c.instructor p.p_name) t.courses)
+
+let session_tuple t session =
+  session_tuple_courses session
+    (List.filter (fun c -> String.equal c.c_session session) t.courses)
 
 let course_tuple (c : course) : Adm.Value.tuple =
   [
@@ -409,14 +438,38 @@ let publish_session_list t = put t session_list_url "Sessions" (session_list_tup
 let publish_session t s = put t (session_url s) s (session_tuple t s)
 let publish_course t c = put t (course_url c.c_name) c.c_name (course_tuple c)
 
+(* One grouping pass per foreign key, then every page renders from its
+   own group — publication is O(pages), not O(pages * records), which
+   is what lets [build] reach 10^5..10^6-page sites. Group order is
+   input order, identical to what the per-page scans produce. *)
+let group_by key xs =
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun x ->
+      let k = key x in
+      match Hashtbl.find_opt tbl k with
+      | Some cell -> cell := x :: !cell
+      | None -> Hashtbl.add tbl k (ref [ x ]))
+    xs;
+  fun k -> match Hashtbl.find_opt tbl k with Some cell -> List.rev !cell | None -> []
+
 let publish_all t =
   publish_home t;
   publish_dept_list t;
-  List.iter (publish_dept t) t.depts;
+  let members_of = group_by (fun p -> p.p_dept) t.profs in
+  let taught_by = group_by (fun c -> c.instructor) t.courses in
+  let in_session = group_by (fun c -> c.c_session) t.courses in
+  List.iter
+    (fun d -> put t (dept_url d.d_name) d.d_name (dept_tuple_members d (members_of d.d_name)))
+    t.depts;
   publish_prof_list t;
-  List.iter (publish_prof t) t.profs;
+  List.iter
+    (fun p -> put t (prof_url p.p_name) p.p_name (prof_tuple_taught p (taught_by p.p_name)))
+    t.profs;
   publish_session_list t;
-  List.iter (publish_session t) t.sessions;
+  List.iter
+    (fun s -> put t (session_url s) s (session_tuple_courses s (in_session s)))
+    t.sessions;
   List.iter (publish_course t) t.courses
 
 let build ?(config = default_config) () =

@@ -28,7 +28,7 @@ let tuple_of_url instance ~scheme ~url =
     List.find_opt
       (fun t ->
         match Adm.Value.find t Adm.Page_scheme.url_attr with
-        | Some (Adm.Value.Link u) -> String.equal u url
+        | Some (Adm.Value.Link u) -> String.equal (Adm.Value.Atom.str u) url
         | _ -> false)
       (Adm.Relation.rows r)
 
@@ -40,7 +40,7 @@ let outlinks (ps : Adm.Page_scheme.t) (tuple : Adm.Value.tuple) =
     | [] -> []
     | [ last ] -> (
       match Adm.Value.find t last with
-      | Some (Adm.Value.Link u) -> [ u ]
+      | Some (Adm.Value.Link u) -> [ Adm.Value.Atom.str u ]
       | _ -> [])
     | step :: rest -> (
       match Adm.Value.find t step with

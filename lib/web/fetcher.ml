@@ -594,4 +594,13 @@ let get_batch t urls : (string * page fetched) list =
    prefetching would only duplicate the per-URL fetches. *)
 let prefetch t urls = if caching t && urls <> [] then ignore (get_batch t urls)
 
+(* Read-only peek at the cached body of [url]: no counters, no LRU
+   touch, no network, no retries. The parallel extraction tier reads
+   prefetched bodies through this so that a pooled run perturbs
+   neither the clock nor the fetch sequence of the sequential run. *)
+let cached_body t url =
+  match Hashtbl.find_opt t.cache.table url with
+  | Some { entry = Live page; _ } -> Some page.body
+  | Some { entry = Gone; _ } | None -> None
+
 let report t : report = merge_report (Http.snapshot t.http) (counters_snapshot t.counters)

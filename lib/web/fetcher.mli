@@ -141,3 +141,8 @@ val get_batch : t -> string list -> (string * page fetched) list
 val prefetch : t -> string list -> unit
 (** Warm the cache for an upcoming navigation ([get_batch], results
     dropped). A no-op on a cache-less fetcher. *)
+
+val cached_body : t -> string -> string option
+(** Read-only peek at the cached body of a URL: no counters, no LRU
+    reordering, no network. For the parallel extraction tier, which
+    must not perturb the deterministic fetch sequence. *)

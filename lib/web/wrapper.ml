@@ -54,7 +54,7 @@ let extract_mono name (ty : Adm.Webtype.t) nodes : Adm.Value.t option =
     match ty with
     | Adm.Webtype.Link _ -> (
       match Html.attr "href" node with
-      | Some href -> Some (Adm.Value.Link href)
+      | Some href -> Some (Adm.Value.link href)
       | None -> fail "attribute %s: link without href" name)
     | Adm.Webtype.Int -> (
       let text = String.trim (Html.inner_text node) in
@@ -62,7 +62,7 @@ let extract_mono name (ty : Adm.Webtype.t) nodes : Adm.Value.t option =
       | Some i -> Some (Adm.Value.Int i)
       | None -> fail "attribute %s: expected int, got %S" name text)
     | Adm.Webtype.Text | Adm.Webtype.Image ->
-      Some (Adm.Value.Text (String.trim (Html.inner_text node)))
+      Some (Adm.Value.text (String.trim (Html.inner_text node)))
     | Adm.Webtype.List _ -> fail "attribute %s: mono extraction of a list type" name)
 
 let rec extract_fields fields nodes : Adm.Value.tuple =
@@ -106,7 +106,7 @@ let extract (ps : Adm.Page_scheme.t) ~url html_body : Adm.Value.tuple =
           fail "page %s (%s): missing non-optional attribute %s" url
             (Adm.Page_scheme.name ps) d.Adm.Page_scheme.name)
     (Adm.Page_scheme.attrs ps);
-  (Adm.Page_scheme.url_attr, Adm.Value.Link url) :: tuple
+  (Adm.Page_scheme.url_attr, Adm.Value.link url) :: tuple
 
 (* ------------------------------------------------------------------ *)
 (* Rendering (the inverse, used by the site generators)                *)
@@ -115,8 +115,10 @@ let extract (ps : Adm.Page_scheme.t) ~url html_body : Adm.Value.tuple =
 let render_mono name (v : Adm.Value.t) : Html.node =
   match v with
   | Adm.Value.Link href ->
+    let href = Adm.Value.Atom.str href in
     Html.Element ("a", [ ("class", attr_class name); ("href", href) ], [ Html.Text href ])
-  | Adm.Value.Text s -> Html.Element ("span", [ ("class", attr_class name) ], [ Html.Text s ])
+  | Adm.Value.Text s ->
+    Html.Element ("span", [ ("class", attr_class name) ], [ Html.Text (Adm.Value.Atom.str s) ])
   | Adm.Value.Int i ->
     Html.Element ("span", [ ("class", attr_class name) ], [ Html.Text (string_of_int i) ])
   | Adm.Value.Bool b ->

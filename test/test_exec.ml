@@ -201,14 +201,14 @@ let join_plan_72 () =
       (Nalg.follow
          (Nalg.select
             [ Pred.eq_const "DeptListPage.DeptList.DName"
-                (Adm.Value.Text "Computer Science") ]
+                (Adm.Value.text "Computer Science") ]
             (Nalg.unnest (Nalg.entry "DeptListPage") "DeptListPage.DeptList"))
          "DeptListPage.DeptList.ToDept" ~scheme:"DeptPage")
       "DeptPage.ProfList"
   in
   let grad_instructor_pointers =
     Nalg.select
-      [ Pred.eq_const "CoursePage.Type" (Adm.Value.Text "Graduate") ]
+      [ Pred.eq_const "CoursePage.Type" (Adm.Value.text "Graduate") ]
       (Nalg.follow
          (Nalg.unnest
             (Nalg.follow
@@ -229,7 +229,7 @@ let chase_plan_72 () =
   Nalg.project
     [ "ProfPage.PName"; "ProfPage.Email" ]
     (Nalg.select
-       [ Pred.eq_const "CoursePage.Type" (Adm.Value.Text "Graduate") ]
+       [ Pred.eq_const "CoursePage.Type" (Adm.Value.text "Graduate") ]
        (Nalg.follow
           (Nalg.unnest
              (Nalg.follow
@@ -237,7 +237,7 @@ let chase_plan_72 () =
                    (Nalg.follow
                       (Nalg.select
                          [ Pred.eq_const "DeptListPage.DeptList.DName"
-                             (Adm.Value.Text "Computer Science") ]
+                             (Adm.Value.text "Computer Science") ]
                          (Nalg.unnest (Nalg.entry "DeptListPage")
                             "DeptListPage.DeptList"))
                       "DeptListPage.DeptList.ToDept" ~scheme:"DeptPage")

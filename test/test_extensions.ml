@@ -26,14 +26,14 @@ let test_dsl_matches_raw_nalg () =
       start "ProfListPage"
       |> dive "ProfList"
       |> follow "ToProf" ~scheme:"ProfPage"
-      |> where_eq "Rank" (Adm.Value.Text "Full")
+      |> where_eq "Rank" (Adm.Value.text "Full")
       |> keep [ "PName" ]
       |> finish)
   in
   let raw =
     Nalg.project [ "ProfPage.PName" ]
       (Nalg.select
-         [ Pred.eq_const "ProfPage.Rank" (Adm.Value.Text "Full") ]
+         [ Pred.eq_const "ProfPage.Rank" (Adm.Value.text "Full") ]
          (Nalg.follow
             (Nalg.unnest (Nalg.entry "ProfListPage") "ProfListPage.ProfList")
             "ProfListPage.ProfList.ToProf" ~scheme:"ProfPage"))

@@ -54,8 +54,8 @@ let oracle_join keys left_attrs r1 r2 =
 
 let confusable_values =
   [
-    Value.Null; Value.Int 0; Value.Int 1; Value.Text "0"; Value.Text "1";
-    Value.Link "1"; Value.Bool true; Value.Text "true"; Value.Text "";
+    Value.Null; Value.Int 0; Value.Int 1; Value.text "0"; Value.text "1";
+    Value.link "1"; Value.Bool true; Value.text "true"; Value.text "";
   ]
 
 let value_gen = QCheck.Gen.oneofl confusable_values

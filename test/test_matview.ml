@@ -127,7 +127,7 @@ let test_new_link_downloads_new_page () =
     (List.exists
        (fun t ->
          match Adm.Value.find t "ProfPage.PName" with
-         | Some (Adm.Value.Text n) -> String.equal n p.Sitegen.University.p_name
+         | Some (Adm.Value.Text n) -> String.equal (Adm.Value.Atom.str n) p.Sitegen.University.p_name
          | _ -> false)
        (Adm.Relation.rows after.Matview.result))
 

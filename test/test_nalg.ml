@@ -32,11 +32,11 @@ let profs_nav =
 (* ------------------------------------------------------------------ *)
 
 let test_pred_eval () =
-  let t = [ ("A", Adm.Value.Int 3); ("B", Adm.Value.Text "x") ] in
+  let t = [ ("A", Adm.Value.Int 3); ("B", Adm.Value.text "x") ] in
   check bool_t "eq const" true (Pred.eval [ Pred.eq_const "A" (Adm.Value.Int 3) ] t);
   check bool_t "eq const false" false (Pred.eval [ Pred.eq_const "A" (Adm.Value.Int 4) ] t);
   check bool_t "conjunction" false
-    (Pred.eval [ Pred.eq_const "A" (Adm.Value.Int 3); Pred.eq_const "B" (Adm.Value.Text "y") ] t);
+    (Pred.eval [ Pred.eq_const "A" (Adm.Value.Int 3); Pred.eq_const "B" (Adm.Value.text "y") ] t);
   check bool_t "lt" true
     (Pred.eval [ Pred.atom (Pred.Attr "A") Pred.Lt (Pred.Const (Adm.Value.Int 5)) ] t);
   check bool_t "empty pred is true" true (Pred.eval [] t)
@@ -172,7 +172,7 @@ let test_eval_unnest_follow () =
 let test_eval_select_project () =
   let e =
     Nalg.project [ "ProfPage.PName" ]
-      (Nalg.select [ Pred.eq_const "ProfPage.Rank" (Adm.Value.Text "Full") ] profs_nav)
+      (Nalg.select [ Pred.eq_const "ProfPage.Rank" (Adm.Value.text "Full") ] profs_nav)
   in
   let r = eval_instance e in
   let full_profs =

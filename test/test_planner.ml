@@ -96,7 +96,7 @@ let test_cost_selection_cuts_navigation () =
   let selective =
     Nalg.follow
       (Nalg.select
-         [ Pred.eq_const "DeptListPage.DeptList.DName" (Adm.Value.Text "Computer Science") ]
+         [ Pred.eq_const "DeptListPage.DeptList.DName" (Adm.Value.text "Computer Science") ]
          (Nalg.unnest (Nalg.entry "DeptListPage") "DeptListPage.DeptList"))
       "DeptListPage.DeptList.ToDept" ~scheme:"DeptPage"
   in
@@ -118,7 +118,7 @@ let test_cost_example_72_shape () =
                   (Nalg.select
                      [
                        Pred.eq_const "DeptListPage.DeptList.DName"
-                         (Adm.Value.Text "Computer Science");
+                         (Adm.Value.text "Computer Science");
                      ]
                      (Nalg.unnest (Nalg.entry "DeptListPage") "DeptListPage.DeptList"))
                   "DeptListPage.DeptList.ToDept" ~scheme:"DeptPage")
@@ -135,7 +135,7 @@ let test_cardinality_estimates () =
   check bool_t "nav card = 20" true
     (Float.abs (Cost.cardinality schema s profs_nav -. 20.0) < 0.01);
   let sel =
-    Nalg.select [ Pred.eq_const "ProfPage.Rank" (Adm.Value.Text "Full") ] profs_nav
+    Nalg.select [ Pred.eq_const "ProfPage.Rank" (Adm.Value.text "Full") ] profs_nav
   in
   check bool_t "selection shrinks card" true
     (Cost.cardinality schema s sel < 20.0)

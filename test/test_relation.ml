@@ -6,7 +6,7 @@ let check = Alcotest.check
 let bool_t = Alcotest.bool
 let int_t = Alcotest.int
 
-let v_t s = Value.Text s
+let v_t s = Value.text s
 let v_i i = Value.Int i
 
 let people =
@@ -84,7 +84,7 @@ let test_join_null_keys () =
 let test_join_no_type_confusion () =
   let l =
     Relation.make [ "A" ]
-      [ [ ("A", v_i 1) ]; [ ("A", v_t "1") ]; [ ("A", Value.Link "1") ];
+      [ [ ("A", v_i 1) ]; [ ("A", v_t "1") ]; [ ("A", Value.link "1") ];
         [ ("A", Value.Bool true) ] ]
   in
   let join v =
@@ -93,7 +93,7 @@ let test_join_no_type_confusion () =
   in
   check int_t "Int 1 matches only Int 1" 1 (join (v_i 1));
   check int_t "Text \"1\" matches only Text \"1\"" 1 (join (v_t "1"));
-  check int_t "Link \"1\" matches only Link \"1\"" 1 (join (Value.Link "1"));
+  check int_t "Link \"1\" matches only Link \"1\"" 1 (join (Value.link "1"));
   check int_t "Text \"true\" matches nothing" 0 (join (v_t "true"))
 
 let test_positional_access () =

@@ -131,7 +131,7 @@ let test_rule6_moves_selection_across_link () =
      SessionPage.Session instead (link constraint) *)
   let e =
     Nalg.select
-      [ Pred.eq_const "CoursePage.Session" (Adm.Value.Text "Fall") ]
+      [ Pred.eq_const "CoursePage.Session" (Adm.Value.text "Fall") ]
       (courses_nav ())
   in
   let rewrites = Rewrite.rule6 schema e in
@@ -156,7 +156,7 @@ let test_rule6_moves_selection_across_link () =
 let test_rule6_then_sink_reduces_cost () =
   let e =
     Nalg.select
-      [ Pred.eq_const "CoursePage.Session" (Adm.Value.Text "Fall") ]
+      [ Pred.eq_const "CoursePage.Session" (Adm.Value.text "Fall") ]
       (courses_nav ())
   in
   let stats = Stats.of_instance (Lazy.force instance) in
@@ -176,7 +176,7 @@ let test_rule6_then_sink_reduces_cost () =
 let test_sink_selections () =
   let e =
     Nalg.select
-      [ Pred.eq_const "ProfListPage.ProfList.PName" (Adm.Value.Text "nobody") ]
+      [ Pred.eq_const "ProfListPage.ProfList.PName" (Adm.Value.text "nobody") ]
       (profs_nav ())
   in
   let sunk = Rewrite.sink_selections schema e in
@@ -189,7 +189,7 @@ let test_sink_selections () =
 
 let test_sink_respects_scope () =
   let e =
-    Nalg.select [ Pred.eq_const "ProfPage.Rank" (Adm.Value.Text "Full") ] (profs_nav ())
+    Nalg.select [ Pred.eq_const "ProfPage.Rank" (Adm.Value.text "Full") ] (profs_nav ())
   in
   let sunk = Rewrite.sink_selections schema e in
   (* Rank only exists after the follow: selection must stay on top *)

@@ -49,14 +49,14 @@ let build_mini_site () =
     ~body:
       (Websim.Wrapper.render ~title:"home"
          [
-           ("SiteName", Adm.Value.Text "mini");
+           ("SiteName", Adm.Value.text "mini");
            ( "Items",
              Adm.Value.Rows
                (List.map
                   (fun i ->
                     [
-                      ("IName", Adm.Value.Text (Fmt.str "item%d" i));
-                      ("ToItem", Adm.Value.Link (item_url i));
+                      ("IName", Adm.Value.text (Fmt.str "item%d" i));
+                      ("ToItem", Adm.Value.link (item_url i));
                     ])
                   items) );
          ]);
@@ -66,9 +66,9 @@ let build_mini_site () =
         ~body:
           (Websim.Wrapper.render ~title:"item"
              [
-               ("IName", Adm.Value.Text (Fmt.str "item%d" i));
-               ("SiteName", Adm.Value.Text "mini");
-               ("ToHome", Adm.Value.Link "/home");
+               ("IName", Adm.Value.text (Fmt.str "item%d" i));
+               ("SiteName", Adm.Value.text "mini");
+               ("ToHome", Adm.Value.link "/home");
              ]))
     items;
   site

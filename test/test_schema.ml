@@ -10,15 +10,15 @@ let string_t = Alcotest.string
 let uni = Sitegen.University.schema
 
 let test_webtype_accepts () =
-  check bool_t "text ok" true (Webtype.accepts Webtype.Text (Value.Text "x"));
+  check bool_t "text ok" true (Webtype.accepts Webtype.Text (Value.text "x"));
   check bool_t "null ok everywhere" true (Webtype.accepts Webtype.Int Value.Null);
-  check bool_t "int rejects text" false (Webtype.accepts Webtype.Int (Value.Text "x"));
-  check bool_t "link ok" true (Webtype.accepts (Webtype.Link "P") (Value.Link "/x"));
+  check bool_t "int rejects text" false (Webtype.accepts Webtype.Int (Value.text "x"));
+  check bool_t "link ok" true (Webtype.accepts (Webtype.Link "P") (Value.link "/x"));
   let listy = Webtype.List [ ("A", Webtype.Text) ] in
   check bool_t "list ok" true
-    (Webtype.accepts listy (Value.Rows [ [ ("A", Value.Text "v") ] ]));
+    (Webtype.accepts listy (Value.Rows [ [ ("A", Value.text "v") ] ]));
   check bool_t "list rejects extra attr" false
-    (Webtype.accepts listy (Value.Rows [ [ ("A", Value.Text "v"); ("B", Value.Int 1) ] ]))
+    (Webtype.accepts listy (Value.Rows [ [ ("A", Value.text "v"); ("B", Value.Int 1) ] ]))
 
 let test_webtype_resolve () =
   let fields =
@@ -52,9 +52,9 @@ let test_validate_tuple () =
   let ps = Schema.find_scheme_exn uni "DeptPage" in
   let good =
     [
-      ("URL", Value.Link "/d.html");
-      ("DName", Value.Text "CS");
-      ("Address", Value.Text "1 Road");
+      ("URL", Value.link "/d.html");
+      ("DName", Value.text "CS");
+      ("Address", Value.text "1 Road");
       ("ProfList", Value.Rows []);
     ]
   in
@@ -63,7 +63,7 @@ let test_validate_tuple () =
   check bool_t "missing attr caught" true (Page_scheme.validate_tuple ps missing <> []);
   let bad_type = Value.set good "DName" (Value.Rows []) in
   check bool_t "bad type caught" true (Page_scheme.validate_tuple ps bad_type <> []);
-  let unknown = Value.set good "Zed" (Value.Text "x") in
+  let unknown = Value.set good "Zed" (Value.text "x") in
   check bool_t "unknown attr caught" true (Page_scheme.validate_tuple ps unknown <> [])
 
 let test_paths () =
@@ -173,18 +173,18 @@ let test_instance_validation_negative () =
   in
   let s_rel =
     Relation.make [ "URL"; "A"; "L" ]
-      [ [ ("URL", Value.Link "/s"); ("A", Value.Text "x"); ("L", Value.Link "/t") ] ]
+      [ [ ("URL", Value.link "/s"); ("A", Value.text "x"); ("L", Value.link "/t") ] ]
   in
   let t_rel_bad =
     Relation.make [ "URL"; "B" ]
-      [ [ ("URL", Value.Link "/t"); ("B", Value.Text "y") ] ]
+      [ [ ("URL", Value.link "/t"); ("B", Value.text "y") ] ]
   in
   let lookup tbl name = List.assoc_opt name tbl in
   check bool_t "violation caught" true
     (Schema.validate_instance s (lookup [ ("S", s_rel); ("T", t_rel_bad) ]) <> []);
   let t_rel_good =
     Relation.make [ "URL"; "B" ]
-      [ [ ("URL", Value.Link "/t"); ("B", Value.Text "x") ] ]
+      [ [ ("URL", Value.link "/t"); ("B", Value.text "x") ] ]
   in
   check Alcotest.(list string_t) "good instance passes" []
     (Schema.validate_instance s (lookup [ ("S", s_rel); ("T", t_rel_good) ]))

@@ -316,6 +316,169 @@ let test_priority_first () =
 (* Workload files                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Domain-count invariance: the multicore run is byte-identical        *)
+(* ------------------------------------------------------------------ *)
+
+(* One run at [domains], with a real pool attached for the parallel
+   extraction tier, returning everything an observer could compare:
+   per-query rows/completeness/steps, the distinct-GET set in
+   first-request order, and the sharing ledger. *)
+let observe_run ~domains ~seed schema site registry templates =
+  let entries = Server.Workload.generate ~templates ~seed ~n:8 () in
+  let specs = specs_of schema site registry entries in
+  let pool = if domains > 1 then Some (Server.Pool.create ~domains) else None in
+  let netmodel = Websim.Netmodel.create (Websim.Netmodel.config ~seed ()) in
+  let cache =
+    Server.Shared_cache.create ?pool ~config:server_config ~netmodel
+      (Websim.Http.connect site)
+  in
+  let rep =
+    Server.Sched.run (Server.Sched.config ~domains ()) cache schema specs
+  in
+  Option.iter Server.Pool.shutdown pool;
+  ( List.map
+      (fun (r : Server.Sched.result) ->
+        (r.Server.Sched.qid, r.Server.Sched.rows, r.Server.Sched.completeness,
+         r.Server.Sched.steps))
+      rep.Server.Sched.results,
+    Server.Shared_cache.distinct_get_set cache,
+    Server.Shared_cache.ledger cache,
+    rep )
+
+let same_observation (res_a, gets_a, ledger_a, _) (res_b, gets_b, ledger_b, _) =
+  List.length res_a = List.length res_b
+  && List.for_all2
+       (fun (qa, rows_a, ca, sa) (qb, rows_b, cb, sb) ->
+         qa = qb && Adm.Relation.equal rows_a rows_b && ca = cb && sa = sb)
+       res_a res_b
+  && gets_a = gets_b
+  && ledger_a = ledger_b
+
+(* The issue's property: for every site, every seed in {7, 21, 42} and
+   every domain count, the N-domain run is byte-identical to the
+   1-domain run — same per-query rows, same distinct-GET set (in
+   first-request order, not just as a set), same sharing ledger. Only
+   the time accounting may differ. *)
+let prop_domains_invariant =
+  let cases =
+    List.concat_map
+      (fun site_ix ->
+        List.concat_map
+          (fun seed -> List.map (fun d -> (site_ix, seed, d)) [ 2; 4; 8 ])
+          [ 7; 21; 42 ])
+      [ 0; 1; 2 ]
+  in
+  QCheck.Test.make
+    ~name:"N-domain run = 1-domain run (rows, GET sets, ledger)" ~count:10
+    (QCheck.make
+       ~print:(fun (i, seed, d) -> Fmt.str "site=%d seed=%d domains=%d" i seed d)
+       (QCheck.Gen.oneofl cases))
+    (fun (site_ix, seed, domains) ->
+      let _, schema, mk_site, mk_registry, templates = List.nth sites site_ix in
+      let registry = mk_registry schema in
+      let site = mk_site () in
+      let base = observe_run ~domains:1 ~seed schema site registry templates in
+      let multi = observe_run ~domains ~seed schema site registry templates in
+      same_observation base multi)
+
+(* Lane accounting at D > 1: makespan covers every lane's charged
+   work (frontiers may additionally include dependency stalls), every
+   query's elapsed decomposes as service + wait, and the lane busy
+   times sum to the total charged service. *)
+let test_lane_accounting () =
+  let schema = Sitegen.University.schema and registry = Sitegen.University.view in
+  let site = Sitegen.University.site (Sitegen.University.build ()) in
+  let _, _, _, rep =
+    observe_run ~domains:4 ~seed:7 schema site registry
+      Server.Workload.university_templates
+  in
+  check int_t "domains recorded" 4 rep.Server.Sched.domains;
+  check int_t "one clock per lane" 4
+    (List.length rep.Server.Sched.lane_busy_ms);
+  let max_lane =
+    List.fold_left Float.max 0.0 rep.Server.Sched.lane_busy_ms
+  in
+  check bool_t "makespan covers the busiest lane" true
+    (rep.Server.Sched.makespan_ms >= max_lane -. 1e-6);
+  let total_service =
+    List.fold_left
+      (fun acc (r : Server.Sched.result) -> acc +. r.Server.Sched.service_ms)
+      0.0 rep.Server.Sched.results
+  in
+  let total_busy =
+    List.fold_left ( +. ) 0.0 rep.Server.Sched.lane_busy_ms
+  in
+  check bool_t "lane busy = charged service"
+    true
+    (Float.abs (total_busy -. total_service) < 1e-6);
+  List.iter
+    (fun (r : Server.Sched.result) ->
+      check bool_t "elapsed = service + wait" true
+        (Float.abs
+           (r.Server.Sched.elapsed_ms
+           -. (r.Server.Sched.service_ms +. r.Server.Sched.wait_ms))
+        < 1e-6);
+      check bool_t "lane in range" true
+        (r.Server.Sched.lane >= 0 && r.Server.Sched.lane < 4))
+    rep.Server.Sched.results
+
+(* ------------------------------------------------------------------ *)
+(* The domain pool itself                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool () =
+  let xs = List.init 500 Fun.id in
+  let squares = List.map (fun x -> x * x) xs in
+  (* inline path: domains = 1 spawns nothing *)
+  let p1 = Server.Pool.create ~domains:1 in
+  check int_t "size clamps to >= 1" 1 (Server.Pool.size p1);
+  check bool_t "inline map preserves order" true
+    (Server.Pool.map p1 (fun x -> x * x) xs = squares);
+  Server.Pool.shutdown p1;
+  let p = Server.Pool.create ~domains:4 in
+  check int_t "size" 4 (Server.Pool.size p);
+  check bool_t "parallel map preserves order" true
+    (Server.Pool.map p (fun x -> x * x) xs = squares);
+  check bool_t "map_array preserves order" true
+    (Server.Pool.map_array p (fun x -> x + 1) (Array.of_list xs)
+    = Array.of_list (List.map (fun x -> x + 1) xs));
+  (* a task exception reaches the caller, and the pool survives it *)
+  (match
+     Server.Pool.map p (fun x -> if x = 250 then failwith "boom" else x) xs
+   with
+  | _ -> Alcotest.fail "expected the task exception to propagate"
+  | exception Failure msg -> check Alcotest.string "first failure" "boom" msg);
+  check bool_t "pool usable after a failed batch" true
+    (Server.Pool.map p string_of_int xs = List.map string_of_int xs);
+  Server.Pool.shutdown p;
+  Server.Pool.shutdown p (* idempotent *)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded tuple cache: stripe accounting                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_contention_report () =
+  let schema = Sitegen.University.schema and registry = Sitegen.University.view in
+  let site = Sitegen.University.site (Sitegen.University.build ()) in
+  let cache = shared_cache site in
+  check int_t "default shard count" 16 (Server.Shared_cache.shard_count cache);
+  let entries = Server.Workload.generate ~seed:11 ~n:6 () in
+  let _ =
+    Server.Sched.run Server.Sched.default_config cache schema
+      (specs_of schema site registry entries)
+  in
+  let c = Server.Shared_cache.contention cache in
+  check int_t "shards" 16 c.Server.Shared_cache.shards;
+  check bool_t "tuples cached" true (c.Server.Shared_cache.tuples_cached > 0);
+  check bool_t "locks were taken" true
+    (c.Server.Shared_cache.lock_acquisitions
+    >= c.Server.Shared_cache.tuples_cached);
+  check bool_t "fullest shard is plausible" true
+    (c.Server.Shared_cache.max_shard_tuples > 0
+    && c.Server.Shared_cache.max_shard_tuples
+       <= c.Server.Shared_cache.tuples_cached)
+
 let test_workload_parsing () =
   let entries =
     Server.Workload.of_lines
@@ -363,6 +526,13 @@ let suite =
         test_admission_bounds;
       Alcotest.test_case "priority policy finishes urgent first" `Quick
         test_priority_first;
+      QCheck_alcotest.to_alcotest prop_domains_invariant;
+      Alcotest.test_case "lane accounting at 4 domains" `Quick
+        test_lane_accounting;
+      Alcotest.test_case "domain pool: order, failures, reuse" `Quick
+        test_pool;
+      Alcotest.test_case "sharded tuple cache: stripe accounting" `Quick
+        test_shard_contention_report;
       Alcotest.test_case "workload files parse" `Quick test_workload_parsing;
       Alcotest.test_case "workload generator is seeded" `Quick
         test_generator_deterministic;

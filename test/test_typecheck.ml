@@ -65,7 +65,7 @@ let test_e0102_not_entry () =
 
 let test_e0103_unavailable_attr () =
   let sel =
-    Nalg.select [ Pred.eq_const "ProfPage.Nope" (Adm.Value.Text "x") ] profs_nav
+    Nalg.select [ Pred.eq_const "ProfPage.Nope" (Adm.Value.text "x") ] profs_nav
   in
   check_code "selection" "E0103" (Typecheck.check uni_schema sel);
   check_code "projection" "E0103"
@@ -92,7 +92,7 @@ let test_e0106_type_mismatch () =
   check_code "text vs int" "E0106" (Typecheck.check uni_schema sel);
   let multi =
     Nalg.select
-      [ Pred.eq_const "ProfListPage.ProfList" (Adm.Value.Text "x") ]
+      [ Pred.eq_const "ProfListPage.ProfList" (Adm.Value.text "x") ]
       (Nalg.entry "ProfListPage")
   in
   check_code "multi-valued operand" "E0106" (Typecheck.check uni_schema multi)
@@ -268,7 +268,7 @@ let test_w0307_always_false () =
   in
   check_code "false constant comparison" "W0307"
     (Typecheck.lint_query uni_schema uni_view
-       (q [ Pred.atom (Pred.Const (Adm.Value.Text "a")) Pred.Eq (Pred.Const (Adm.Value.Text "b")) ]));
+       (q [ Pred.atom (Pred.Const (Adm.Value.text "a")) Pred.Eq (Pred.Const (Adm.Value.text "b")) ]));
   check_code "self-inequality" "W0307"
     (Typecheck.lint_query uni_schema uni_view
        (q [ Pred.atom (Pred.Attr "p.PName") Pred.Neq (Pred.Attr "p.PName") ]))
@@ -330,11 +330,11 @@ let test_soundness () =
 (* --- structural equality and memoized output_attrs ----------------- *)
 
 let test_structural_equal () =
-  let sel e = Nalg.select [ Pred.eq_const "ProfPage.Rank" (Adm.Value.Text "Full") ] e in
+  let sel e = Nalg.select [ Pred.eq_const "ProfPage.Rank" (Adm.Value.text "Full") ] e in
   Alcotest.(check bool) "equal to itself" true (Nalg.equal (sel profs_nav) (sel profs_nav));
   Alcotest.(check bool) "different predicate" false
     (Nalg.equal (sel profs_nav)
-       (Nalg.select [ Pred.eq_const "ProfPage.Rank" (Adm.Value.Text "Assoc") ] profs_nav));
+       (Nalg.select [ Pred.eq_const "ProfPage.Rank" (Adm.Value.text "Assoc") ] profs_nav));
   Alcotest.(check bool) "different shape" false
     (Nalg.equal profs_nav (Nalg.entry "ProfListPage"))
 

@@ -8,19 +8,19 @@ let string_t = Alcotest.string
 
 let sample_tuple : Value.tuple =
   [
-    ("Name", Value.Text "Ada");
+    ("Name", Value.text "Ada");
     ("Age", Value.Int 36);
-    ("Home", Value.Link "/ada.html");
+    ("Home", Value.link "/ada.html");
     ( "Kids",
-      Value.Rows [ [ ("K", Value.Text "a") ]; [ ("K", Value.Text "b") ] ] );
+      Value.Rows [ [ ("K", Value.text "a") ]; [ ("K", Value.text "b") ] ] );
   ]
 
 let test_equal_atoms () =
-  check bool_t "text equal" true (Value.equal (Value.Text "x") (Value.Text "x"));
-  check bool_t "text differs" false (Value.equal (Value.Text "x") (Value.Text "y"));
+  check bool_t "text equal" true (Value.equal (Value.text "x") (Value.text "x"));
+  check bool_t "text differs" false (Value.equal (Value.text "x") (Value.text "y"));
   check bool_t "int equal" true (Value.equal (Value.Int 3) (Value.Int 3));
   check bool_t "link vs text differ" false
-    (Value.equal (Value.Link "/a") (Value.Text "/a"));
+    (Value.equal (Value.link "/a") (Value.text "/a"));
   check bool_t "null equal" true (Value.equal Value.Null Value.Null)
 
 let test_equal_nested () =
@@ -32,7 +32,7 @@ let test_equal_nested () =
 
 let test_compare_total () =
   let vs =
-    [ Value.Null; Value.Bool true; Value.Int 1; Value.Text "a"; Value.Link "/x" ]
+    [ Value.Null; Value.Bool true; Value.Int 1; Value.text "a"; Value.link "/x" ]
   in
   List.iter
     (fun v -> check bool_t "reflexive" true (Value.compare v v = 0))
@@ -40,18 +40,18 @@ let test_compare_total () =
   check bool_t "null smallest" true (Value.compare Value.Null (Value.Int 0) < 0)
 
 let test_accessors () =
-  check (Alcotest.option string_t) "as_text" (Some "hi") (Value.as_text (Value.Text "hi"));
+  check (Alcotest.option string_t) "as_text" (Some "hi") (Value.as_text (Value.text "hi"));
   check (Alcotest.option string_t) "as_text of int" (Some "7") (Value.as_text (Value.Int 7));
   check (Alcotest.option Alcotest.int) "as_int" (Some 5) (Value.as_int (Value.Int 5));
   check (Alcotest.option Alcotest.int) "as_int of numeric text" (Some 12)
-    (Value.as_int (Value.Text "12"));
-  check (Alcotest.option Alcotest.int) "as_int of text" None (Value.as_int (Value.Text "x"));
-  check (Alcotest.option string_t) "as_link" (Some "/a") (Value.as_link (Value.Link "/a"));
-  check (Alcotest.option string_t) "as_link of text" None (Value.as_link (Value.Text "/a"))
+    (Value.as_int (Value.text "12"));
+  check (Alcotest.option Alcotest.int) "as_int of text" None (Value.as_int (Value.text "x"));
+  check (Alcotest.option string_t) "as_link" (Some "/a") (Value.as_link (Value.link "/a"));
+  check (Alcotest.option string_t) "as_link of text" None (Value.as_link (Value.text "/a"))
 
 let test_tuple_find () =
   check bool_t "find hit" true
-    (Value.find sample_tuple "Name" = Some (Value.Text "Ada"));
+    (Value.find sample_tuple "Name" = Some (Value.text "Ada"));
   check bool_t "find miss" true (Value.find sample_tuple "Nope" = None);
   check bool_t "has_attr" true (Value.has_attr sample_tuple "Kids");
   Alcotest.check_raises "find_exn raises"
@@ -63,15 +63,15 @@ let test_tuple_find () =
 let test_tuple_set_remove () =
   let t = Value.set sample_tuple "Age" (Value.Int 37) in
   check bool_t "set replaces" true (Value.find t "Age" = Some (Value.Int 37));
-  let t2 = Value.set sample_tuple "New" (Value.Text "v") in
-  check bool_t "set appends" true (Value.find t2 "New" = Some (Value.Text "v"));
+  let t2 = Value.set sample_tuple "New" (Value.text "v") in
+  check bool_t "set appends" true (Value.find t2 "New" = Some (Value.text "v"));
   let t3 = Value.remove sample_tuple "Age" in
   check bool_t "remove drops" true (Value.find t3 "Age" = None);
   check Alcotest.(list string_t) "attrs order" [ "Name"; "Age"; "Home"; "Kids" ]
     (Value.attrs sample_tuple)
 
 let test_display () =
-  check string_t "text display" "Ada" (Value.to_display (Value.Text "Ada"));
+  check string_t "text display" "Ada" (Value.to_display (Value.text "Ada"));
   check string_t "null display" "" (Value.to_display Value.Null);
   check string_t "rows display" "[2 rows]"
     (Value.to_display (Value.Rows [ []; [] ]))
@@ -79,7 +79,7 @@ let test_display () =
 let test_type_names () =
   check string_t "null" "null" (Value.type_name Value.Null);
   check string_t "rows" "rows" (Value.type_name (Value.Rows []));
-  check bool_t "atomicity" true (Value.is_atomic (Value.Link "/x"));
+  check bool_t "atomicity" true (Value.is_atomic (Value.link "/x"));
   check bool_t "rows not atomic" false (Value.is_atomic (Value.Rows []))
 
 (* Property tests. *)
@@ -91,8 +91,8 @@ let atom_gen =
         return Value.Null;
         map (fun b -> Value.Bool b) bool;
         map (fun i -> Value.Int i) small_signed_int;
-        map (fun s -> Value.Text s) (string_size (int_bound 12));
-        map (fun s -> Value.Link ("/" ^ s)) (string_size (int_bound 8));
+        map (fun s -> Value.text s) (string_size (int_bound 12));
+        map (fun s -> Value.link ("/" ^ s)) (string_size (int_bound 8));
       ])
 
 let atom_arb = QCheck.make ~print:Value.to_string atom_gen
@@ -106,6 +106,63 @@ let prop_equal_iff_compare =
   QCheck.Test.make ~name:"Value.equal agrees with compare" ~count:500
     (QCheck.pair atom_arb atom_arb)
     (fun (v1, v2) -> Value.equal v1 v2 = (Value.compare v1 v2 = 0))
+
+(* Interning: atoms are hash-consed, and observable behavior (string
+   round-trip, hash, equality, ordering) is exactly that of the
+   pre-intern structural representation. *)
+
+let string_arb =
+  QCheck.make ~print:(Fmt.str "%S")
+    QCheck.Gen.(string_size ~gen:printable (int_bound 24))
+
+let prop_intern_round_trip =
+  QCheck.Test.make ~name:"Atom.of_string round-trips" ~count:500 string_arb
+    (fun s ->
+      let a = Value.Atom.of_string s in
+      Value.Atom.str a = s
+      && Value.as_text (Value.text s) = Some s
+      && Value.as_link (Value.link s) = Some s)
+
+let prop_intern_hash_consing =
+  QCheck.Test.make ~name:"equal strings intern to one atom" ~count:500
+    string_arb (fun s ->
+      let a = Value.Atom.of_string s
+      and b = Value.Atom.of_string (String.sub s 0 (String.length s)) in
+      Value.Atom.id a = Value.Atom.id b && Value.Atom.equal a b)
+
+(* The stored atom hash is the structural hash of the string — NOT a
+   function of the intern id — so hash-order observables (bucket
+   iteration, distinct/join layouts) cannot depend on intern order,
+   and a parallel run that interns in a different order stays
+   byte-identical. *)
+let prop_intern_hash_structural =
+  QCheck.Test.make ~name:"Atom.hash = structural string hash" ~count:500
+    string_arb (fun s ->
+      Value.Atom.hash (Value.Atom.of_string s) = Hashtbl.hash s)
+
+let compare_sign c = if c < 0 then -1 else if c > 0 then 1 else 0
+
+let prop_intern_semantics_agree =
+  QCheck.Test.make
+    ~name:"interned equal/compare agree with string equal/compare" ~count:500
+    (QCheck.pair string_arb string_arb)
+    (fun (s1, s2) ->
+      let a1 = Value.Atom.of_string s1 and a2 = Value.Atom.of_string s2 in
+      Value.Atom.equal a1 a2 = String.equal s1 s2
+      && compare_sign (Value.Atom.compare a1 a2) = compare_sign (String.compare s1 s2)
+      && Value.equal (Value.text s1) (Value.text s2) = String.equal s1 s2
+      && compare_sign (Value.compare (Value.text s1) (Value.text s2))
+         = compare_sign (String.compare s1 s2))
+
+let test_intern_table_grows () =
+  let before = Value.Atom.interned () in
+  let fresh = Fmt.str "intern-growth-probe-%d" before in
+  ignore (Value.text fresh);
+  check bool_t "new string grows the table" true
+    (Value.Atom.interned () > before);
+  ignore (Value.text fresh);
+  ignore (Value.link fresh);
+  check Alcotest.int "re-interning is free" (before + 1) (Value.Atom.interned ())
 
 let prop_set_find =
   QCheck.Test.make ~name:"Value.set then find" ~count:200
@@ -124,6 +181,11 @@ let suite =
       Alcotest.test_case "tuple set/remove" `Quick test_tuple_set_remove;
       Alcotest.test_case "display" `Quick test_display;
       Alcotest.test_case "type names" `Quick test_type_names;
+      QCheck_alcotest.to_alcotest prop_intern_round_trip;
+      QCheck_alcotest.to_alcotest prop_intern_hash_consing;
+      QCheck_alcotest.to_alcotest prop_intern_hash_structural;
+      QCheck_alcotest.to_alcotest prop_intern_semantics_agree;
+      Alcotest.test_case "intern table growth" `Quick test_intern_table_grows;
       QCheck_alcotest.to_alcotest prop_compare_antisym;
       QCheck_alcotest.to_alcotest prop_equal_iff_compare;
       QCheck_alcotest.to_alcotest prop_set_find;

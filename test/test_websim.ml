@@ -83,15 +83,15 @@ let toy_scheme =
 
 let toy_tuple : Value.tuple =
   [
-    ("Name", Value.Text "toy & co");
+    ("Name", Value.text "toy & co");
     ("Count", Value.Int 3);
-    ("Next", Value.Link "/next.html");
+    ("Next", Value.link "/next.html");
     ("Note", Value.Null);
     ( "Items",
       Value.Rows
         [
-          [ ("Label", Value.Text "first"); ("To", Value.Link "/1.html") ];
-          [ ("Label", Value.Text "second"); ("To", Value.Link "/2.html") ];
+          [ ("Label", Value.text "first"); ("To", Value.link "/1.html") ];
+          [ ("Label", Value.text "second"); ("To", Value.link "/2.html") ];
         ] );
   ]
 
@@ -99,17 +99,17 @@ let test_wrapper_roundtrip () =
   let html = Websim.Wrapper.render ~title:"Toy" toy_tuple in
   let extracted = Websim.Wrapper.extract toy_scheme ~url:"/toy.html" html in
   check bool_t "URL attached" true
-    (Value.find extracted "URL" = Some (Value.Link "/toy.html"));
+    (Value.find extracted "URL" = Some (Value.link "/toy.html"));
   check bool_t "name escaped text roundtrips" true
-    (Value.find extracted "Name" = Some (Value.Text "toy & co"));
+    (Value.find extracted "Name" = Some (Value.text "toy & co"));
   check bool_t "int parsed" true (Value.find extracted "Count" = Some (Value.Int 3));
   check bool_t "link href" true
-    (Value.find extracted "Next" = Some (Value.Link "/next.html"));
+    (Value.find extracted "Next" = Some (Value.link "/next.html"));
   check bool_t "optional null" true (Value.find extracted "Note" = Some Value.Null);
   match Value.find extracted "Items" with
   | Some (Value.Rows [ r1; _ ]) ->
-    check bool_t "nested label" true (Value.find r1 "Label" = Some (Value.Text "first"));
-    check bool_t "nested link" true (Value.find r1 "To" = Some (Value.Link "/1.html"))
+    check bool_t "nested label" true (Value.find r1 "Label" = Some (Value.text "first"));
+    check bool_t "nested link" true (Value.find r1 "To" = Some (Value.link "/1.html"))
   | _ -> Alcotest.fail "nested items lost"
 
 let test_wrapper_missing_required () =
@@ -141,16 +141,16 @@ let test_wrapper_scoping () =
   in
   let tuple =
     [
-      ("Name", Value.Text "outer");
-      ("Inner", Value.Rows [ [ ("Name", Value.Text "inner") ] ]);
+      ("Name", Value.text "outer");
+      ("Inner", Value.Rows [ [ ("Name", Value.text "inner") ] ]);
     ]
   in
   let html = Websim.Wrapper.render tuple in
   let t = Websim.Wrapper.extract scheme ~url:"/s" html in
-  check bool_t "outer name" true (Value.find t "Name" = Some (Value.Text "outer"));
+  check bool_t "outer name" true (Value.find t "Name" = Some (Value.text "outer"));
   match Value.find t "Inner" with
   | Some (Value.Rows [ r ]) ->
-    check bool_t "inner name" true (Value.find r "Name" = Some (Value.Text "inner"))
+    check bool_t "inner name" true (Value.find r "Name" = Some (Value.text "inner"))
   | _ -> Alcotest.fail "inner list lost"
 
 (* property: random toy tuples roundtrip through render/extract *)
@@ -160,15 +160,15 @@ let toy_gen =
     map2
       (fun (name, count) items ->
         [
-          ("Name", Value.Text name);
+          ("Name", Value.text name);
           ("Count", Value.Int count);
-          ("Next", Value.Link "/n.html");
+          ("Next", Value.link "/n.html");
           ("Note", Value.Null);
           ( "Items",
             Value.Rows
               (List.mapi
                  (fun i l ->
-                   [ ("Label", Value.Text l); ("To", Value.Link (Fmt.str "/%d.html" i)) ])
+                   [ ("Label", Value.text l); ("To", Value.link (Fmt.str "/%d.html" i)) ])
                  items) );
         ])
       (pair label (int_bound 100))
@@ -182,7 +182,7 @@ let prop_wrapper_roundtrip =
       let html = Websim.Wrapper.render tuple in
       let extracted = Websim.Wrapper.extract toy_scheme ~url:"/p" html in
       Value.equal_tuple
-        (("URL", Value.Link "/p") :: tuple)
+        (("URL", Value.link "/p") :: tuple)
         extracted)
 
 (* ------------------------------------------------------------------ *)
