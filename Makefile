@@ -1,4 +1,4 @@
-.PHONY: build test check ci bench bench-kernel bench-fetch bench-exec bench-server bench-all examples clean
+.PHONY: build test check analyze ci bench bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-all examples clean
 
 build:
 	dune build @all
@@ -25,6 +25,27 @@ check:
 	  "SELECT p.PName, p.Brand FROM Product p WHERE p.Category = 'Audio' AND p.Price >= 400" \
 	  "SELECT p.PName FROM Product p WHERE p.Price > 495"
 	dune exec --profile ci bin/webviews_cli.exe -- check --site bibliography
+
+# Semantic analyzer gate: `webviews analyze --format=json` over the
+# same query set the examples/ programs run (mirrored above in
+# `check`) — satisfiability (E0601), redundant-occurrence
+# minimization (W0602), view subsumption (W0603), trivial
+# answerability (W0604), and the planner's equivalence dedup. The
+# subcommand exits 2 on any error-severity finding, so `set -e` /
+# make fail on E06xx.
+analyze:
+	dune exec --profile ci bin/webviews_cli.exe -- analyze --site university --format=json \
+	  "SELECT p.PName, p.Email FROM Professor p, ProfDept pd WHERE p.PName = pd.PName AND pd.DName = 'Computer Science'" \
+	  "SELECT c.CName, ci.PName FROM Course c, CourseInstructor ci WHERE c.CName = ci.CName" \
+	  "SELECT p.PName, p.Rank FROM Professor p, ProfDept d WHERE p.PName = d.PName AND d.DName = 'Computer Science'" \
+	  "SELECT p.PName FROM Professor p" \
+	  "SELECT c.CName, c.Description FROM Professor p, CourseInstructor ci, Course c WHERE p.PName = ci.PName AND ci.CName = c.CName AND c.Session = 'Fall' AND p.Rank = 'Full'"
+	dune exec --profile ci bin/webviews_cli.exe -- analyze --site catalog --format=json \
+	  "SELECT p.PName, p.Price FROM Product p WHERE p.Category = 'Audio'" \
+	  "SELECT p.PName, p.Price FROM Product p WHERE p.Brand = 'Acme' AND p.Price < 50" \
+	  "SELECT p.PName, p.Brand FROM Product p WHERE p.Category = 'Audio' AND p.Price >= 400" \
+	  "SELECT p.PName FROM Product p WHERE p.Price > 495"
+	dune exec --profile ci bin/webviews_cli.exe -- analyze --site bibliography --format=json
 
 # Regenerate every experiment of the paper plus bechamel timings.
 bench:
@@ -69,7 +90,16 @@ bench-server:
 	dune exec bench/main.exe -- server
 
 # Every benchmark that writes a BENCH_*.json.
-bench-all: bench-kernel bench-fetch bench-exec bench-server
+# Semantic-analyzer benchmark: filter-tree view-subsumption lookup vs
+# a naive pairwise scan at 10/100/500 registered views, analysis +
+# planning time and candidate-set size vs registry size, and
+# minimized-vs-raw best-plan page accesses on the three sites. Writes
+# BENCH_analyze.json in the current directory; commit it so the
+# trajectory is tracked across PRs.
+bench-analyze:
+	dune exec bench/main.exe -- analyze
+
+bench-all: bench-kernel bench-fetch bench-exec bench-server bench-analyze
 
 # The CI entry point: ./ci.sh (strict gate + full test suite under the
 # ci dune profile).

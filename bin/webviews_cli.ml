@@ -13,7 +13,9 @@
                        [--concurrency K] [--quantum N] [--policy rr|priority]
                        [--deadline MS] [--stale] [--faults R] [--latency]
      webviews matview  [--site ...] "SELECT ..."
-     webviews check    [--site ...] [--cap N] ["SELECT ..." ...]
+     webviews check    [--site ...] [--cap N] [--strict] ["SELECT ..." ...]
+     webviews analyze  [--site ...] [--format text|json] [--strict]
+                       ["SELECT ..." ...]
 
    webviews --version prints the release. *)
 
@@ -383,8 +385,13 @@ let discover_cmd =
           paper assigns to WebSQL-style exploration).")
     (site_args run)
 
+let strict_arg =
+  Arg.(value & flag & info [ "strict" ]
+         ~doc:"Exit 1 when only warning-severity diagnostics are reported \
+               (errors always exit 2).")
+
 let check_cmd =
-  let run cap sqls loaded =
+  let run cap strict sqls loaded =
     let section title = function
       | [] -> Fmt.pr "%s: ok@." title
       | ds ->
@@ -393,9 +400,13 @@ let check_cmd =
           (fun d -> Fmt.pr "  %a@." Diagnostic.pp d)
           (List.sort Diagnostic.compare ds)
     in
-    let schema_diags = Typecheck.lint_schema loaded.schema in
+    let schema_diags = Diagnostic.dedup (Typecheck.lint_schema loaded.schema) in
     section "schema" schema_diags;
-    let registry_diags = Typecheck.lint_registry loaded.schema loaded.registry in
+    let registry_diags =
+      Diagnostic.dedup
+        (Typecheck.lint_registry loaded.schema loaded.registry
+        @ Viewmatch.registry_lint (Viewmatch.make loaded.registry))
+    in
     section "view registry" registry_diags;
     (* crawl lazily: pure lint runs offline, planning needs stats *)
     let stats = lazy (stats_of loaded) in
@@ -403,6 +414,15 @@ let check_cmd =
       List.concat_map
         (fun sql ->
           let lint = Typecheck.lint_sql loaded.schema loaded.registry sql in
+          let semantic =
+            if Diagnostic.has_errors lint || loaded.registry = [] then []
+            else
+              let _, ds =
+                Contain.analyze_query loaded.registry
+                  (Sql_parser.parse loaded.registry sql)
+              in
+              ds
+          in
           let planner =
             if Diagnostic.has_errors lint || loaded.registry = [] then []
             else
@@ -414,13 +434,14 @@ let check_cmd =
               | exception Invalid_argument msg ->
                 [ Diagnostic.error ~code:"E0309" "planning failed: %s" msg ]
           in
-          section (Fmt.str "query %S" sql) (lint @ planner);
-          lint @ planner)
+          let ds = Diagnostic.dedup (lint @ semantic @ planner) in
+          section (Fmt.str "query %S" sql) ds;
+          ds)
         sqls
     in
     let all = schema_diags @ registry_diags @ query_diags in
     Fmt.pr "@.%s@." (Diagnostic.summary all);
-    exit (Diagnostic.exit_code all)
+    exit (Diagnostic.exit_code ~strict all)
   in
   let sqls_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"SQL"
@@ -431,13 +452,157 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Run the static analyzer: lint the site's web scheme and view \
-          registry, check each given query, and plan it with the \
-          rewrite-soundness differential check enabled. Exits nonzero when \
-          any error-severity diagnostic is reported.")
-    Term.(const (fun site depts profs courses seed cap sqls ->
-              with_site (run cap sqls) site depts profs courses seed)
+          registry (including view-subsumption), check each given query \
+          (including satisfiability and redundancy), and plan it with the \
+          rewrite-soundness differential check enabled. Exits 2 on any \
+          error-severity diagnostic, 1 with $(b,--strict) when only \
+          warnings remain, else 0.")
+    Term.(const (fun site depts profs courses seed cap strict sqls ->
+              with_site (run cap strict sqls) site depts profs courses seed)
           $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg
-          $ sqls_arg)
+          $ strict_arg $ sqls_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze: the semantic analyzer as a first-class subcommand          *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_diag (d : Diagnostic.t) =
+  Fmt.str "{\"code\":\"%s\",\"severity\":\"%a\",\"message\":\"%s\"}"
+    (json_escape d.Diagnostic.code) Diagnostic.pp_severity d.Diagnostic.severity
+    (json_escape d.Diagnostic.message)
+
+let analyze_cmd =
+  let run cap strict format sqls loaded =
+    let json = format = "json" in
+    let index = Viewmatch.make loaded.registry in
+    let registry_diags = Diagnostic.dedup (Viewmatch.registry_lint index) in
+    let stats = lazy (stats_of loaded) in
+    (* per query: lint, minimize, semantic findings, then plan the
+       minimized query to report candidate dedup *)
+    let reports =
+      List.map
+        (fun sql ->
+          let lint = Typecheck.lint_sql loaded.schema loaded.registry sql in
+          if Diagnostic.has_errors lint || loaded.registry = [] then
+            (sql, None, Diagnostic.dedup lint, None)
+          else
+            let q = Sql_parser.parse loaded.registry sql in
+            let q_min, semantic = Contain.analyze_query loaded.registry q in
+            let planned =
+              match
+                Planner.plan_sql ?cap loaded.schema (Lazy.force stats)
+                  loaded.registry sql
+              with
+              | outcome -> Some outcome
+              | exception Invalid_argument _ -> None
+            in
+            let sources_before = List.length q.Conjunctive.from in
+            let sources_after = List.length q_min.Conjunctive.from in
+            ( sql,
+              Some (q_min, sources_before, sources_after),
+              Diagnostic.dedup (lint @ semantic),
+              planned ))
+        sqls
+    in
+    let all =
+      registry_diags @ List.concat_map (fun (_, _, ds, _) -> ds) reports
+    in
+    if json then begin
+      let query_json (sql, min_info, ds, planned) =
+        let minimized =
+          match min_info with
+          | None -> ""
+          | Some (q_min, before, after) ->
+            Fmt.str ",\"minimized\":\"%s\",\"sources_before\":%d,\"sources_after\":%d"
+              (json_escape (Fmt.str "%a" Conjunctive.pp q_min))
+              before after
+        in
+        let plan_part =
+          match planned with
+          | None -> ""
+          | Some (o : Planner.outcome) ->
+            Fmt.str ",\"candidates\":%d,\"merged\":%d,\"best_cost\":%.2f"
+              (List.length o.Planner.candidates)
+              o.Planner.merged o.Planner.best.Planner.cost
+        in
+        Fmt.str "{\"sql\":\"%s\"%s%s,\"diagnostics\":[%s]}" (json_escape sql)
+          minimized plan_part
+          (String.concat "," (List.map json_of_diag ds))
+      in
+      Fmt.pr
+        "{\"views\":%d,\"view_buckets\":%d,\"registry_diagnostics\":[%s],\"queries\":[%s],\"errors\":%d,\"warnings\":%d}@."
+        (Viewmatch.size index) (Viewmatch.buckets index)
+        (String.concat "," (List.map json_of_diag registry_diags))
+        (String.concat "," (List.map query_json reports))
+        (List.length (Diagnostic.errors all))
+        (List.length (Diagnostic.warnings all))
+    end
+    else begin
+      Fmt.pr "view registry: %d views in %d filter-tree buckets@."
+        (Viewmatch.size index) (Viewmatch.buckets index);
+      List.iter (fun d -> Fmt.pr "  %a@." Diagnostic.pp d) registry_diags;
+      List.iter
+        (fun (sql, min_info, ds, planned) ->
+          Fmt.pr "@.query %S@." sql;
+          (match min_info with
+          | Some (q_min, before, after) when after < before ->
+            Fmt.pr "  minimized (%d -> %d sources): %a@." before after
+              Conjunctive.pp q_min
+          | _ -> ());
+          (match planned with
+          | Some (o : Planner.outcome) ->
+            Fmt.pr "  %d candidate plan(s), %d merged as equivalent, best cost %.2f@."
+              (List.length o.Planner.candidates)
+              o.Planner.merged o.Planner.best.Planner.cost
+          | None -> ());
+          match ds with
+          | [] -> Fmt.pr "  ok@."
+          | ds ->
+            List.iter
+              (fun d -> Fmt.pr "  %a@." Diagnostic.pp d)
+              (List.sort Diagnostic.compare ds))
+        reports;
+      Fmt.pr "@.%s@." (Diagnostic.summary all)
+    end;
+    exit (Diagnostic.exit_code ~strict all)
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", "text"); ("json", "json") ]) "text"
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let sqls_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"SQL"
+           ~doc:"Queries to analyze.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the semantic query analyzer: view-subsumption lint over the \
+          registry (via the filter-tree index), then per query satisfiability \
+          ($(b,E0601)), redundant-occurrence minimization ($(b,W0602)), \
+          trivial answerability ($(b,W0604)), and the planner's \
+          equivalence-keyed candidate deduplication. Exits 2 on any error, \
+          1 with $(b,--strict) when only warnings remain, else 0.")
+    Term.(const (fun site depts profs courses seed cap strict format sqls ->
+              with_site (run cap strict format sqls) site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg
+          $ strict_arg $ format_arg $ sqls_arg)
 
 let serve_cmd =
   let run workload n wseed concurrency quantum policy deadline faults latency
@@ -617,6 +782,7 @@ let main_cmd =
     [
       scheme_cmd; crawl_cmd; plan_cmd; explain_cmd; query_cmd; run_cmd;
       serve_cmd; matview_cmd; navigations_cmd; discover_cmd; check_cmd;
+      analyze_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

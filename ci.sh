@@ -16,6 +16,9 @@ dune runtest --profile ci
 echo "== make check (static analyzer) =="
 make check
 
+echo "== make analyze (semantic analyzer, fails on E06xx) =="
+make analyze
+
 echo "== smoke scale: 2-domain serve over a scaled site =="
 dune exec --profile ci bin/webviews_cli.exe -- serve \
   --profs 300 --courses 600 --queries 32 --domains 2 --latency \

@@ -59,4 +59,20 @@ let summary ds =
     (List.length (errors ds))
     (List.length (warnings ds))
 
-let exit_code ds = if has_errors ds then 1 else 0
+(* Drop repeated findings: several analysis passes (or several rewrite
+   judgments) can surface the same code at the same node with the same
+   message. First occurrence wins, order otherwise preserved. *)
+let dedup ds =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let k = (d.code, d.path, d.message) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    ds
+
+let exit_code ?(strict = false) ds =
+  if has_errors ds then 2 else if strict && ds <> [] then 1 else 0

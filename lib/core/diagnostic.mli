@@ -43,5 +43,10 @@ val to_string : t -> string
 val summary : t list -> string
 (** ["N error(s), M warning(s)"]. *)
 
-val exit_code : t list -> int
-(** [1] if any error, else [0]. *)
+val dedup : t list -> t list
+(** Drop diagnostics identical to an earlier one (same code, node path
+    and message); order otherwise preserved. *)
+
+val exit_code : ?strict:bool -> t list -> int
+(** [2] if any error; with [~strict:true], [1] when only warnings
+    remain; else [0]. *)

@@ -17,12 +17,16 @@ type outcome = {
   best : plan;
   candidates : plan list; (* all candidates, sorted by cost *)
   explored : int;
+  merged : int;
+      (* candidates dropped because an equivalent (cheaper) plan kept
+         their Contain.plan_key *)
   select : string list; (* the query's output attributes, in order *)
   diagnostics : Diagnostic.t list;
       (* findings of the enumeration: W0401 when a plan-space cap
          truncated a closure phase, E0402/E0403 when a rewrite step
          failed the soundness check, E0404 for candidates rejected as
-         ill-typed before costing *)
+         ill-typed before costing, E0601/W0602 from input-query
+         minimization *)
 }
 
 (* Candidate plans name their output columns after the page-scheme
@@ -82,8 +86,8 @@ let fixpoint ?(max_rounds = 50) (rule : Nalg.expr -> Nalg.expr list) e =
   go max_rounds e
 
 let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
-    (schema : Adm.Schema.t) (stats : Stats.t) (registry : View.registry)
-    (q : Conjunctive.t) : outcome =
+    ?(minimize = true) (schema : Adm.Schema.t) (stats : Stats.t)
+    (registry : View.registry) (q : Conjunctive.t) : outcome =
   (* [pointer_rules] and [constraint_selections] exist for ablation
      studies: without rules 8/9 (resp. rule 6) the planner falls back
      to the constraint-blind plans. [cap], when given, overrides the
@@ -125,7 +129,20 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
            cap phase);
     plans
   in
-  let base = Conjunctive.to_algebra q in
+  (* Semantic minimization first (Contain): fold FROM occurrences
+     equated on declared keys (bag-sound), normalize the WHERE
+     conjunction, report provable emptiness. The minimized query has
+     the same select arity and position-wise the same output values,
+     so [rename_output] keeps working with the original SELECT. *)
+  let q_plan =
+    if minimize then begin
+      let q', ds = Contain.minimize_query registry q in
+      List.iter diag ds;
+      q'
+    end
+    else q
+  in
+  let base = Conjunctive.to_algebra q_plan in
   (* Step 2: rule 1 *)
   let expanded = View.expand registry base in
   (* Step 3: rule 4 to fixpoint on each expansion (cheap first pass) *)
@@ -167,7 +184,7 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
   let pruned = with_projections in
   (* dedup once more; typecheck gate; estimate; sort *)
   let seen = Hashtbl.create 64 in
-  let candidates =
+  let costed =
     List.filter
       (fun e ->
         let k = Nalg.canonical e in
@@ -192,6 +209,27 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
            { expr = e; cost = est.Cost.cost; card = est.Cost.card })
     |> List.sort (fun p1 p2 -> Float.compare p1.cost p2.cost)
   in
+  (* Semantic dedup: plans whose tableaux are isomorphic
+     (Contain.plan_key) are the same query written differently — keep
+     one representative per key. Running after the cost sort keeps the
+     cheapest representative, so the chosen plan is exactly what it
+     would have been without deduplication. *)
+  let keyed = Hashtbl.create 64 in
+  let merged = ref 0 in
+  let candidates =
+    List.filter
+      (fun p ->
+        let k = Contain.plan_key p.expr in
+        if Hashtbl.mem keyed k then begin
+          incr merged;
+          false
+        end
+        else begin
+          Hashtbl.replace keyed k ();
+          true
+        end)
+      costed
+  in
   match candidates with
   | [] -> invalid_arg "Planner.enumerate: no computable plan"
   | best :: _ ->
@@ -199,6 +237,7 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
       best;
       candidates;
       explored = List.length pruned;
+      merged = !merged;
       select = q.Conjunctive.select;
       diagnostics = List.rev !diagnostics;
     }

@@ -12,11 +12,16 @@ type outcome = {
   best : plan;
   candidates : plan list;  (** all candidates, sorted by cost *)
   explored : int;
+  merged : int;
+      (** candidates dropped by semantic deduplication — an
+          equivalent plan (same {!Contain.plan_key}) with lower cost
+          was kept, so the chosen plan is unaffected *)
   select : string list;  (** the query's output attributes, in order *)
   diagnostics : Diagnostic.t list;
       (** enumeration findings: [W0401] cap truncations, [E0402] /
           [E0403] rewrite-soundness violations, [E0404] ill-typed
-          candidates rejected before costing *)
+          candidates rejected before costing, [E0601] / [W0602] from
+          input-query minimization *)
 }
 
 val rename_output : outcome -> Adm.Relation.t -> Adm.Relation.t
@@ -43,15 +48,21 @@ val enumerate :
   ?cap:int ->
   ?pointer_rules:bool ->
   ?constraint_selections:bool ->
+  ?minimize:bool ->
   Adm.Schema.t -> Stats.t -> View.registry -> Conjunctive.t -> outcome
 (** Raises [Invalid_argument] when no computable plan exists.
     [pointer_rules] (default true) enables rules 2/8/9;
     [constraint_selections] (default true) enables rule 6 — both exist
-    for ablation studies. [cap] overrides the per-phase plan-space
-    caps (join 1500, selection / projection 400); hitting a cap is
-    reported as a [W0401] diagnostic in the outcome. Every rewrite
-    step is checked by {!Typecheck.judge}; ill-typed candidates are
-    rejected before costing. *)
+    for ablation studies. [minimize] (default true) runs
+    {!Contain.minimize_query} on the input first (its [E0601] /
+    [W0602] findings land in the outcome diagnostics; the original
+    SELECT names are kept for {!rename_output}). [cap] overrides the
+    per-phase plan-space caps (join 1500, selection / projection 400);
+    hitting a cap is reported as a [W0401] diagnostic in the outcome.
+    Every rewrite step is checked by {!Typecheck.judge}; ill-typed
+    candidates are rejected before costing, and plans equivalent under
+    {!Contain.plan_key} are deduplicated after the cost sort
+    ([merged]). *)
 
 val plan_sql :
   ?cap:int ->

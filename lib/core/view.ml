@@ -16,12 +16,13 @@ type navigation = {
 type relation = {
   rel_name : string;
   rel_attrs : string list;
+  rel_keys : string list;
   navigations : navigation list;
 }
 
 type registry = relation list
 
-let relation ~name ~attrs ~navigations =
+let relation ?(keys = []) ~name ~attrs ~navigations () =
   List.iter
     (fun nav ->
       List.iter
@@ -31,7 +32,12 @@ let relation ~name ~attrs ~navigations =
               (Fmt.str "View.relation %s: attribute %s has no binding" name a))
         attrs)
     navigations;
-  { rel_name = name; rel_attrs = attrs; navigations }
+  List.iter
+    (fun k ->
+      if not (List.mem k attrs) then
+        invalid_arg (Fmt.str "View.relation %s: key %s is not an attribute" name k))
+    keys;
+  { rel_name = name; rel_attrs = attrs; rel_keys = keys; navigations }
 
 let navigation ?(bindings = []) expr = { nav_expr = expr; bindings }
 
@@ -224,7 +230,8 @@ let auto_registry (schema : Adm.Schema.t) : registry =
           let bindings = List.map (fun a -> (a, name ^ "." ^ a)) mono_attrs in
           Some
             (relation ~name ~attrs:mono_attrs
-               ~navigations:(List.map (fun nav -> navigation ~bindings nav) navs)))
+               ~navigations:(List.map (fun nav -> navigation ~bindings nav) navs)
+               ()))
     (Adm.Schema.schemes schema)
 
 let pp_relation ppf r =

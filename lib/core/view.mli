@@ -13,15 +13,23 @@ type navigation = {
 type relation = {
   rel_name : string;
   rel_attrs : string list;
+  rel_keys : string list;
+      (** declared unique, non-null attributes — each key value matches
+          at most one row. {!Contain.minimize_query} folds duplicate
+          occurrences only when they are equated on a key, which keeps
+          minimization sound under bag semantics. *)
   navigations : navigation list;
 }
 
 type registry = relation list
 
 val relation :
-  name:string -> attrs:string list -> navigations:navigation list -> relation
+  ?keys:string list ->
+  name:string -> attrs:string list -> navigations:navigation list -> unit ->
+  relation
 (** Raises [Invalid_argument] when an attribute lacks a binding in
-    some navigation. *)
+    some navigation or a key is not an attribute. [keys] (default
+    none) declares single-attribute unique keys. *)
 
 val navigation : ?bindings:(string * string) list -> Nalg.expr -> navigation
 

@@ -1,0 +1,183 @@
+(* Filter-tree view-match index (after Goldstein & Larson): bucket
+   registered views by cheap structural properties — source scheme
+   set, predicate signature, output attributes — so the expensive
+   semantic subsumption check (Contain.equiv on projected
+   navigations) runs against a handful of candidates instead of the
+   whole registry. Every filter is a necessary condition for
+   subsumption as checked by [subsumes], so pruning never loses a
+   candidate that the semantic check would have accepted. *)
+
+type entry = {
+  rel : View.relation;
+  attrs : string list; (* sorted external attributes *)
+}
+
+type t = {
+  (* level 1+2 of the tree: scheme-set key -> pred-signature key ->
+     entries; level 3 (attribute superset) is checked per entry *)
+  tree : (string, (string, entry list ref) Hashtbl.t) Hashtbl.t;
+  ordered : View.relation list; (* indexed views, registry order *)
+  count : int;
+}
+
+let first_nav (rel : View.relation) =
+  match rel.View.navigations with [] -> None | nav :: _ -> Some nav
+
+let scheme_key expr =
+  Nalg.fold
+    (fun acc e ->
+      match e with
+      | Nalg.Entry { scheme; _ } -> ("E:" ^ scheme) :: acc
+      | Nalg.Follow { scheme; _ } -> scheme :: acc
+      | Nalg.External { name; _ } -> ("X:" ^ name) :: acc
+      | _ -> acc)
+    [] expr
+  |> List.sort_uniq String.compare
+  |> String.concat ";"
+
+let pred_key expr =
+  Nalg.fold
+    (fun acc e ->
+      match e with Nalg.Select (p, _) -> Pred.attrs (Pred.normalize p) @ acc | _ -> acc)
+    [] expr
+  |> List.sort_uniq String.compare
+  |> String.concat ";"
+
+let keys_of rel =
+  match first_nav rel with
+  | None -> None
+  | Some nav -> Some (scheme_key nav.View.nav_expr, pred_key nav.View.nav_expr)
+
+let make (registry : View.registry) : t =
+  let tree = Hashtbl.create 16 in
+  let count = ref 0 in
+  let ordered = ref [] in
+  List.iter
+    (fun rel ->
+      match keys_of rel with
+      | None -> ()
+      | Some (sk, pk) ->
+        incr count;
+        ordered := rel :: !ordered;
+        let level2 =
+          match Hashtbl.find_opt tree sk with
+          | Some l -> l
+          | None ->
+            let l = Hashtbl.create 4 in
+            Hashtbl.replace tree sk l;
+            l
+        in
+        let bucket =
+          match Hashtbl.find_opt level2 pk with
+          | Some b -> b
+          | None ->
+            let b = ref [] in
+            Hashtbl.replace level2 pk b;
+            b
+        in
+        bucket :=
+          { rel; attrs = List.sort_uniq String.compare rel.View.rel_attrs }
+          :: !bucket)
+    registry;
+  { tree; ordered = List.rev !ordered; count = !count }
+
+let size t = t.count
+
+let buckets t =
+  Hashtbl.fold (fun _ l2 acc -> acc + Hashtbl.length l2) t.tree 0
+
+let subset s1 s2 =
+  (* both sorted *)
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | (x :: xs as l1), y :: ys -> (
+      match String.compare x y with
+      | 0 -> go (xs, ys)
+      | c when c > 0 -> go (l1, ys)
+      | _ -> false)
+  in
+  go (s1, s2)
+
+let candidates (t : t) (rel : View.relation) : View.relation list =
+  match keys_of rel with
+  | None -> []
+  | Some (sk, pk) -> (
+    match Hashtbl.find_opt t.tree sk with
+    | None -> []
+    | Some level2 -> (
+      match Hashtbl.find_opt level2 pk with
+      | None -> []
+      | Some bucket ->
+        let attrs = List.sort_uniq String.compare rel.View.rel_attrs in
+        List.filter_map
+          (fun e ->
+            if
+              (not (String.equal e.rel.View.rel_name rel.View.rel_name))
+              && subset attrs e.attrs
+            then Some e.rel
+            else None)
+          !bucket))
+
+(* The semantic check: project [general]'s navigation onto
+   [specific]'s external attributes and test set-equivalence of the
+   two defining plans. When it holds, every tuple of [specific] is
+   obtained from [general] by projection. *)
+let subsumes ~(general : View.relation) ~(specific : View.relation) =
+  match first_nav general, first_nav specific with
+  | Some gnav, Some snav -> (
+    let plan_attrs (nav : View.navigation) ext_attrs =
+      (* external attr -> the navigation's plan attribute *)
+      List.fold_left
+        (fun acc a ->
+          match acc with
+          | None -> None
+          | Some acc -> (
+            match List.assoc_opt a nav.View.bindings with
+            | Some p -> Some (p :: acc)
+            | None -> None))
+        (Some []) ext_attrs
+      |> Option.map List.rev
+    in
+    let ext = specific.View.rel_attrs in
+    match plan_attrs gnav ext, plan_attrs snav ext with
+    | Some gattrs, Some sattrs ->
+      Contain.equiv
+        (Nalg.project sattrs snav.View.nav_expr)
+        (Nalg.project gattrs gnav.View.nav_expr)
+    | _ -> false)
+  | _ -> false
+
+let subsumers t rel =
+  List.filter (fun g -> subsumes ~general:g ~specific:rel) (candidates t rel)
+
+let registry_lint (t : t) : Diagnostic.t list =
+  let pos name =
+    let rec go i = function
+      | [] -> max_int
+      | (r : View.relation) :: rest ->
+        if String.equal r.View.rel_name name then i else go (i + 1) rest
+    in
+    go 0 t.ordered
+  in
+  List.filter_map
+    (fun (rel : View.relation) ->
+      let subsumer =
+        List.find_opt
+          (fun (g : View.relation) ->
+            (* symmetric duplicates: report only the later view *)
+            List.length g.View.rel_attrs > List.length rel.View.rel_attrs
+            || List.length g.View.rel_attrs = List.length rel.View.rel_attrs
+               && pos g.View.rel_name < pos rel.View.rel_name)
+          (subsumers t rel)
+      in
+      match subsumer with
+      | Some g ->
+        Some
+          (Diagnostic.warning ~code:"W0603"
+             "registered view %s is subsumed by view %s: its extent is the \
+              projection of %s onto (%s)"
+             rel.View.rel_name g.View.rel_name g.View.rel_name
+             (String.concat ", " rel.View.rel_attrs))
+      | None -> None)
+    t.ordered

@@ -1,0 +1,48 @@
+(** Filter-tree view-match index over registered external relations,
+    after Goldstein & Larson's materialized-view matching: views are
+    bucketed by cheap structural properties so that semantic
+    subsumption checks (via {!Contain}) only run against a small
+    candidate set instead of the whole registry.
+
+    The tree filters on three levels, each a necessary condition for
+    one view's defining navigation to subsume another's:
+
+    + {e source scheme set} — the page-schemes its first default
+      navigation touches (an equivalent navigation modulo projection
+      touches the same schemes);
+    + {e predicate signature} — the sorted attribute names constrained
+      by selections inside the navigation;
+    + {e output attributes} — the subsuming view must bind a superset
+      of the subsumed view's external attributes.
+
+    Views pruned here are never compared semantically, so lookup cost
+    scales with bucket size, not registry size. *)
+
+type t
+
+val make : View.registry -> t
+(** Index every relation by its first default navigation. *)
+
+val size : t -> int
+(** Number of indexed views. *)
+
+val buckets : t -> int
+(** Number of distinct (scheme-set, predicate-signature) buckets. *)
+
+val candidates : t -> View.relation -> View.relation list
+(** Views that pass all three filters against [rel] (excluding [rel]
+    itself): the only ones worth a semantic check. *)
+
+val subsumes : general:View.relation -> specific:View.relation -> bool
+(** The semantic check: [general]'s first navigation, projected to
+    [specific]'s external attributes, is set-equivalent to
+    [specific]'s — so every tuple of [specific] is derivable from
+    [general] by projection. Conservative (via {!Contain.equiv}). *)
+
+val subsumers : t -> View.relation -> View.relation list
+(** {!candidates} filtered by {!subsumes}. *)
+
+val registry_lint : t -> Diagnostic.t list
+(** [W0603] for every view subsumed by another registered view (for
+    mutually-subsuming duplicates, the later one in registry order is
+    reported). *)

@@ -329,15 +329,19 @@ let view : Webviews.View.registry =
   [
     View.relation ~name:"Product"
       ~attrs:[ "PName"; "Price"; "Category"; "Brand"; "Description" ]
+      ~keys:[ "PName" ]
       ~navigations:
         [
           View.navigation ~bindings:product_bindings by_category;
           View.navigation ~bindings:product_bindings by_brand;
-        ];
-    View.relation ~name:"Category" ~attrs:[ "CatName" ]
+        ]
+      ();
+    View.relation ~name:"Category" ~attrs:[ "CatName" ] ~keys:[ "CatName" ]
       ~navigations:
-        [ View.navigation ~bindings:[ ("CatName", "CategoryPage.CatName") ] categories_nav ];
-    View.relation ~name:"Brand" ~attrs:[ "BrandName" ]
+        [ View.navigation ~bindings:[ ("CatName", "CategoryPage.CatName") ] categories_nav ]
+      ();
+    View.relation ~name:"Brand" ~attrs:[ "BrandName" ] ~keys:[ "BrandName" ]
       ~navigations:
-        [ View.navigation ~bindings:[ ("BrandName", "BrandPage.BrandName") ] brands_nav ];
+        [ View.navigation ~bindings:[ ("BrandName", "BrandPage.BrandName") ] brands_nav ]
+      ();
   ]

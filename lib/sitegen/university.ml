@@ -586,14 +586,16 @@ let view : Webviews.View.registry =
     Nalg.unnest dept_nav "DeptPage.ProfList"
   in
   [
-    View.relation ~name:"Dept" ~attrs:[ "DName"; "Address" ]
+    View.relation ~name:"Dept" ~attrs:[ "DName"; "Address" ] ~keys:[ "DName" ]
       ~navigations:
         [
           View.navigation
             ~bindings:[ ("DName", "DeptPage.DName"); ("Address", "DeptPage.Address") ]
             dept_nav;
-        ];
+        ]
+      ();
     View.relation ~name:"Professor" ~attrs:[ "PName"; "Rank"; "Email" ]
+      ~keys:[ "PName" ]
       ~navigations:
         [
           View.navigation
@@ -604,8 +606,10 @@ let view : Webviews.View.registry =
                 ("Email", "ProfPage.Email");
               ]
             prof_nav;
-        ];
+        ]
+      ();
     View.relation ~name:"Course" ~attrs:[ "CName"; "Session"; "Description"; "Type" ]
+      ~keys:[ "CName" ]
       ~navigations:
         [
           View.navigation
@@ -617,8 +621,10 @@ let view : Webviews.View.registry =
                 ("Type", "CoursePage.Type");
               ]
             course_nav;
-        ];
+        ]
+      ();
     View.relation ~name:"CourseInstructor" ~attrs:[ "CName"; "PName" ]
+      ~keys:[ "CName" ]
       ~navigations:
         [
           View.navigation
@@ -631,8 +637,9 @@ let view : Webviews.View.registry =
             ~bindings:
               [ ("CName", "CoursePage.CName"); ("PName", "CoursePage.PName") ]
             course_nav;
-        ];
-    View.relation ~name:"ProfDept" ~attrs:[ "PName"; "DName" ]
+        ]
+      ();
+    View.relation ~name:"ProfDept" ~attrs:[ "PName"; "DName" ] ~keys:[ "PName" ]
       ~navigations:
         [
           View.navigation
@@ -642,5 +649,6 @@ let view : Webviews.View.registry =
             ~bindings:
               [ ("PName", "DeptPage.ProfList.PName"); ("DName", "DeptPage.DName") ]
             dept_profs_nav;
-        ];
+        ]
+      ();
   ]

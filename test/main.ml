@@ -19,6 +19,7 @@ let () =
       Test_rule2.suite;
       Test_sql_extra.suite;
       Test_equivalence.suite;
+      Test_contain.suite;
       Test_netsim.suite;
       Test_exec.suite;
       Test_server.suite;

@@ -280,12 +280,14 @@ let test_registry_lint_codes () =
     View.relation ~name:"Bad" ~attrs:[ "R" ]
       ~navigations:
         [ View.navigation ~bindings:[ ("R", "ProfPage.Rank") ] (Nalg.entry "ProfPage") ]
+      ()
   in
   check_code "ill-typed navigation" "E0501"
     (Typecheck.lint_registry uni_schema [ bad_nav ]);
   let bad_binding =
     View.relation ~name:"Bad" ~attrs:[ "R" ]
       ~navigations:[ View.navigation ~bindings:[ ("R", "ProfPage.Nope") ] profs_nav ]
+      ()
   in
   check_code "binding to unproduced attribute" "E0502"
     (Typecheck.lint_registry uni_schema [ bad_binding ]);
@@ -298,6 +300,7 @@ let test_registry_lint_codes () =
             (Nalg.entry "ProfListPage");
           View.navigation ~bindings:[ ("X", "ProfPage.Rank") ] profs_nav;
         ]
+      ()
   in
   check_code "conflicting types across navigations" "E0503"
     (Typecheck.lint_registry uni_schema [ conflicting ])
