@@ -456,7 +456,10 @@ let implies_hi t1 term (v, strict) =
       | _ -> false)
     | None -> false)
 
-(* q1 implies [term ≠ c] *)
+(* q1 implies [term ≠ c]: only a strictly separating bound proves
+   the exclusion — lo strictly above c, hi strictly below c, or a
+   bound touching c that is itself strict. A closed bound equal to c
+   (e.g. x ≥ c) still admits x = c and proves nothing. *)
 let implies_excluded t1 term c =
   match class_of_term t1 term with
   | None -> false
@@ -466,10 +469,8 @@ let implies_excluded t1 term c =
     | Some c' -> not (Adm.Value.equal c c')
     | None -> false)
     || List.exists (Adm.Value.equal c) cl.excluded
-    || separated ~strict:false (Some (c, false)) (eff_lo cl)
-       && eff_lo cl <> None
-    || separated ~strict:false (eff_hi cl) (Some (c, false))
-       && eff_hi cl <> None
+    || separated ~strict:true (Some (c, false)) (eff_lo cl)
+    || separated ~strict:true (eff_hi cl) (Some (c, false))
 
 (* q1 implies [a cmp b] for cmp ∈ {Neq, Lt, Le} over q1 terms *)
 let implies_residual t1 a cmp b =
@@ -818,10 +819,17 @@ let plan_key (e : Nalg.expr) : string =
         |> List.sort compare
       in
       let count =
+        (* saturating product of factorials: stop multiplying as soon
+           as the running product passes perm_cap, so a large group
+           (≥ 21 same-signature occurrences) cannot overflow the int,
+           wrap below the cap, and slip past the guard into an n!
+           enumeration *)
         List.fold_left
           (fun acc (_, is) ->
-            let rec fact = function 0 | 1 -> 1 | k -> k * fact (k - 1) in
-            acc * fact (List.length is))
+            let rec go acc k =
+              if acc > perm_cap || k <= 1 then acc else go (acc * k) (k - 1)
+            in
+            go acc (List.length is))
           1 group_list
       in
       if count > perm_cap then "S:" ^ Nalg.canonical e
@@ -1012,13 +1020,24 @@ let analyze_query (registry : View.registry) (q : Conjunctive.t) :
       && not (Diagnostic.has_errors diags)
     then
       let s = List.hd q'.Conjunctive.from in
-      diags
-      @ [
+      let w =
+        (* minimize_query normalized the WHERE, so [] means no
+           residual filter at all; anything left (constant or
+           attribute-attribute) still restricts the scan *)
+        match q'.Conjunctive.where with
+        | [] ->
           Diagnostic.warning ~code:"W0604"
             "query is trivially answerable from registered view %s: after \
-             minimization it reads a single occurrence (%s) with no joins"
-            s.Conjunctive.rel s.Conjunctive.alias;
-        ]
+             minimization it reads a single occurrence (%s) with no \
+             residual filters"
+            s.Conjunctive.rel s.Conjunctive.alias
+        | where ->
+          Diagnostic.warning ~code:"W0604"
+            "query reads a single registered view %s after minimization \
+             (occurrence %s, residual filters: %s)"
+            s.Conjunctive.rel s.Conjunctive.alias (Pred.to_string where)
+      in
+      diags @ [ w ]
     else diags
   in
   (q', diags)

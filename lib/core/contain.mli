@@ -84,6 +84,7 @@ val minimize_query :
 val analyze_query :
   View.registry -> Conjunctive.t -> Conjunctive.t * Diagnostic.t list
 (** {!minimize_query} plus query-level findings: [W0604] when the
-    minimized query reads a single relation with no join conditions
-    left — it is trivially answerable by scanning that registered
-    view. Returns the minimized query. *)
+    minimized query reads a single relation. With an empty residual
+    WHERE it is trivially answerable by scanning that registered
+    view; otherwise the message names the residual filters that
+    still apply. Returns the minimized query. *)

@@ -36,9 +36,18 @@ let scheme_key expr =
   |> String.concat ";"
 
 let pred_key expr =
+  (* Join keys are equality constraints too (Contain.of_expr turns
+     them into eq atoms), so they must feed the signature: otherwise
+     a navigation written with Join keys and the equivalent one
+     written with Select equality atoms land in different buckets
+     and a true subsumption is missed. *)
   Nalg.fold
     (fun acc e ->
-      match e with Nalg.Select (p, _) -> Pred.attrs (Pred.normalize p) @ acc | _ -> acc)
+      match e with
+      | Nalg.Select (p, _) -> Pred.attrs (Pred.normalize p) @ acc
+      | Nalg.Join (keys, _, _) ->
+        List.concat_map (fun (a, b) -> [ a; b ]) keys @ acc
+      | _ -> acc)
     [] expr
   |> List.sort_uniq String.compare
   |> String.concat ";"

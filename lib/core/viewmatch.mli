@@ -11,7 +11,8 @@
       navigation touches (an equivalent navigation modulo projection
       touches the same schemes);
     + {e predicate signature} — the sorted attribute names constrained
-      by selections inside the navigation;
+      inside the navigation, by selection atoms and join keys alike
+      (a join key is the same equality constraint in another coat);
     + {e output attributes} — the subsuming view must bind a superset
       of the subsumed view's external attributes.
 

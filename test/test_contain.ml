@@ -110,6 +110,36 @@ let test_equiv_permutation () =
     "permuted query same plan key" true
     (String.equal (Contain.plan_key a) (Contain.plan_key b))
 
+(* Regression: a closed bound touching the excluded constant still
+   admits it — x >= c must not prove x <> c, and x >= c is not
+   equivalent to x > c; only a strict bound separates. *)
+let test_closed_bound_is_not_exclusion () =
+  let q cmp =
+    algebra (Fmt.str "SELECT p.PName FROM Professor p WHERE p.Rank %s 'Full'" cmp)
+  in
+  let t = Alcotest.(check bool) in
+  t "x>=c does not prove x<>c" false (Contain.contains (q ">=") (q "<>"));
+  t "x<=c does not prove x<>c" false (Contain.contains (q "<=") (q "<>"));
+  t "x>=c not equivalent to x>c" false (Contain.equiv (q ">=") (q ">"));
+  t "x<=c not equivalent to x<c" false (Contain.equiv (q "<=") (q "<"));
+  t "x>c does prove x<>c" true (Contain.contains (q ">") (q "<>"));
+  t "x<c does prove x<>c" true (Contain.contains (q "<") (q "<>"))
+
+(* Regression: 21 same-signature occurrences — 21! overflows a naive
+   factorial product and used to wrap below the permutation cap,
+   sending plan_key into an n! enumeration; the saturating count must
+   fall back to the structural key (and return promptly). *)
+let test_plan_key_many_way_self_join () =
+  let sql =
+    Fmt.str "SELECT p0.PName FROM %s"
+      (String.concat ", "
+         (List.init 21 (fun i -> Fmt.str "Professor p%d" i)))
+  in
+  let key = Contain.plan_key (algebra sql) in
+  Alcotest.(check bool)
+    "structural fallback past the cap" true
+    (String.length key >= 2 && String.equal (String.sub key 0 2) "S:")
+
 (* --- minimization and analyze units -------------------------------- *)
 
 let fold_sql =
@@ -172,6 +202,55 @@ let test_registry_lint () =
          d.Diagnostic.code = "W0603"
          && contains_sub ~sub:"Professor2" d.Diagnostic.message)
        ds')
+
+(* Regression: the same join written as Nalg.Join keys in one view and
+   as a Select equality atom over a cross join in another must land in
+   the same filter-tree bucket (join keys feed the predicate
+   signature), so the semantic check sees the pair and the lint flags
+   the duplicate. *)
+let test_filter_tree_join_keys_vs_select_atoms () =
+  let prof_nav =
+    Nalg.follow
+      (Nalg.unnest (Nalg.entry "ProfListPage") "ProfListPage.ProfList")
+      "ProfListPage.ProfList.ToProf" ~scheme:"ProfPage"
+  in
+  let dept_nav =
+    Nalg.follow
+      (Nalg.unnest (Nalg.entry "DeptListPage") "DeptListPage.DeptList")
+      "DeptListPage.DeptList.ToDept" ~scheme:"DeptPage"
+  in
+  let bindings =
+    [
+      ("PName", "ProfPage.PName");
+      ("DName", "ProfPage.DName");
+      ("Address", "DeptPage.Address");
+    ]
+  in
+  let mk name nav_expr =
+    View.relation ~name ~attrs:[ "PName"; "DName"; "Address" ]
+      ~navigations:[ View.navigation ~bindings nav_expr ] ()
+  in
+  let join_view =
+    mk "ProfDeptJoin"
+      (Nalg.join [ ("ProfPage.DName", "DeptPage.DName") ] prof_nav dept_nav)
+  in
+  let select_view =
+    mk "ProfDeptSel"
+      (Nalg.select
+         [ Pred.eq_attrs "ProfPage.DName" "DeptPage.DName" ]
+         (Nalg.join [] prof_nav dept_nav))
+  in
+  let t = Viewmatch.make [ join_view; select_view ] in
+  Alcotest.(check bool)
+    "select-atom view sees the join-key candidate" true
+    (List.exists
+       (fun (r : View.relation) -> String.equal r.View.rel_name "ProfDeptJoin")
+       (Viewmatch.candidates t select_view));
+  Alcotest.(check bool)
+    "equivalent pair flagged W0603" true
+    (List.exists
+       (fun d -> d.Diagnostic.code = "W0603")
+       (Viewmatch.registry_lint t))
 
 (* --- QCheck: random university queries ----------------------------- *)
 
@@ -433,6 +512,10 @@ let suite =
         test_contains_refinement;
       Alcotest.test_case "equivalence under permutation" `Quick
         test_equiv_permutation;
+      Alcotest.test_case "closed bound is not an exclusion" `Quick
+        test_closed_bound_is_not_exclusion;
+      Alcotest.test_case "plan_key caps many-way self-joins" `Quick
+        test_plan_key_many_way_self_join;
       Alcotest.test_case "minimization folds key-equated duplicates" `Quick
         test_minimize_folds;
       Alcotest.test_case "minimization keeps non-key duplicates" `Quick
@@ -440,6 +523,8 @@ let suite =
       Alcotest.test_case "unsatisfiable query reported" `Quick
         test_unsat_diagnostic;
       Alcotest.test_case "registry subsumption lint" `Quick test_registry_lint;
+      Alcotest.test_case "filter tree buckets join keys with select atoms"
+        `Quick test_filter_tree_join_keys_vs_select_atoms;
       QCheck_alcotest.to_alcotest prop_minimize_preserves_rows;
       QCheck_alcotest.to_alcotest prop_minimize_preserves_gets;
       QCheck_alcotest.to_alcotest prop_contains_reflexive;
