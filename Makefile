@@ -1,4 +1,4 @@
-.PHONY: build test check analyze ci bench bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-all examples clean
+.PHONY: build test check analyze ci bench bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-churn bench-all examples clean
 
 build:
 	dune build @all
@@ -99,7 +99,17 @@ bench-server:
 bench-analyze:
 	dune exec bench/main.exe -- analyze
 
-bench-all: bench-kernel bench-fetch bench-exec bench-server bench-analyze
+# Live-churn benchmark: the freshness/wire frontier (wire budget vs
+# mean/95p answer staleness at churn {0, low, high}, incremental
+# maintenance vs the full-refresh baseline, determinism and
+# domain-count-invariance). Writes BENCH_churn.json in the current
+# directory; commit it so the trajectory is tracked across PRs.
+# Exits nonzero if incremental is not strictly fresher at every fixed
+# nonzero-churn budget.
+bench-churn:
+	dune exec bench/main.exe -- churn
+
+bench-all: bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-churn
 
 # The CI entry point: ./ci.sh (strict gate + full test suite under the
 # ci dune profile).

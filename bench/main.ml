@@ -1559,6 +1559,215 @@ let timings () =
          Fmt.pr "%-45s %15s@." name ns)
 
 (* ------------------------------------------------------------------ *)
+(* bench-churn: the freshness/wire frontier under live churn           *)
+(*                                                                     *)
+(* Maps wire budget (HEAD+GET units per scheduler turn) against mean / *)
+(* 95p answer staleness at churn rates {0, low, high}, incremental     *)
+(* maintenance vs the full-refresh baseline, and proves determinism    *)
+(* (same seed = same report; domain-count-invariant).                  *)
+(* Results go to stdout and BENCH_churn.json.                          *)
+(* ------------------------------------------------------------------ *)
+
+let churn_bench () =
+  banner "bench-churn  Wire budget vs answer staleness under live churn";
+  let schema = Sitegen.University.schema in
+  let registry = Sitegen.University.view in
+  (* a compact site so every policy gets to act inside the run: a
+     full-refresh pass costs ~pages x 10 units and must accrue several
+     times within the workload's scheduler turns *)
+  let site_config =
+    {
+      Sitegen.University.default_config with
+      Sitegen.University.n_depts = 2;
+      n_profs = 6;
+      n_courses = 10;
+      n_sessions = 2;
+    }
+  in
+  let n_queries = 96 and wseed = 7 and churn_seed = 5 and max_age = 6 in
+  let sched_config ?(domains = 1) () =
+    Server.Sched.config ~concurrency:4 ~quantum:1 ~domains ()
+  in
+  let workload = Server.Workload.generate ~seed:wseed ~n:n_queries () in
+  let site_pages = ref 0 in
+  let run ?(domains = 1) ~rate ~budget ~policy () =
+    let uni = Sitegen.University.build ~config:site_config () in
+    let site = Sitegen.University.site uni in
+    site_pages := Websim.Site.page_count site;
+    let http = Websim.Http.connect site in
+    let stats = Stats.of_instance (Websim.Crawler.crawl schema http) in
+    let cfg =
+      Churn.Runtime.config
+        ~profile:(Churn.Profile.make ~rate ())
+        ~churn_seed
+        ~sla:(Churn.Sla.create ~default_max_age:max_age ())
+        ~budget_per_turn:budget ~policy ()
+    in
+    Churn.Runtime.run ~sched:(sched_config ~domains ()) cfg schema stats registry
+      http workload
+  in
+  let rates = [ ("zero", 0.0); ("low", 0.05); ("high", 0.3) ] in
+  let budgets = [ 2.0; 8.0; 32.0 ] in
+  let policies = [ Churn.Runtime.Incremental; Churn.Runtime.Full_refresh ] in
+  let grid =
+    List.concat_map
+      (fun (rate_name, rate) ->
+        List.concat_map
+          (fun budget ->
+            List.map
+              (fun policy ->
+                (rate_name, rate, budget, policy, run ~rate ~budget ~policy ()))
+              policies)
+          budgets)
+      rates
+  in
+  print_table
+    [ "churn"; "budget"; "policy"; "mean stale"; "p95 stale"; "violated";
+      "maint HEAD"; "maint GET"; "full refr"; "wire GET"; "wire HEAD";
+      "mutations" ]
+    (List.map
+       (fun (rate_name, _, budget, policy, (r : Churn.Runtime.report)) ->
+         let m = r.Churn.Runtime.maintenance in
+         [
+           rate_name; f1 budget; Churn.Runtime.policy_to_string policy;
+           Fmt.str "%.3f" r.Churn.Runtime.mean_staleness;
+           f1 r.Churn.Runtime.p95_staleness;
+           string_of_int r.Churn.Runtime.violations;
+           string_of_int m.Churn.Maintain.heads;
+           string_of_int m.Churn.Maintain.gets_refreshed;
+           string_of_int r.Churn.Runtime.full_refreshes;
+           string_of_int r.Churn.Runtime.wire.Websim.Fetcher.gets;
+           string_of_int r.Churn.Runtime.wire.Websim.Fetcher.heads;
+           string_of_int r.Churn.Runtime.mutations_total;
+         ])
+       grid);
+  (* the acceptance comparison: at every fixed budget and nonzero
+     churn, incremental maintenance must answer strictly fresher than
+     the full-refresh baseline *)
+  let find name budget policy =
+    let _, _, _, _, r =
+      List.find
+        (fun (n, _, b, p, _) -> n = name && b = budget && p = policy)
+        grid
+    in
+    r
+  in
+  let acceptance =
+    List.concat_map
+      (fun (rate_name, rate) ->
+        if rate = 0.0 then []
+        else
+          List.map
+            (fun budget ->
+              let inc = find rate_name budget Churn.Runtime.Incremental in
+              let full = find rate_name budget Churn.Runtime.Full_refresh in
+              ( rate_name, budget,
+                inc.Churn.Runtime.mean_staleness,
+                full.Churn.Runtime.mean_staleness,
+                inc.Churn.Runtime.mean_staleness
+                < full.Churn.Runtime.mean_staleness ))
+            budgets)
+      rates
+  in
+  Fmt.pr "@.incremental vs full-refresh (mean answer staleness, ticks):@.";
+  List.iter
+    (fun (name, budget, inc, full, ok) ->
+      Fmt.pr "  churn %-4s budget %5.1f: %.3f vs %.3f  %s@." name budget inc
+        full
+        (if ok then "incremental strictly lower" else "NOT LOWER"))
+    acceptance;
+  (* determinism: an identical configuration replays byte-identically,
+     and the runtime is domain-count-invariant *)
+  let digest (r : Churn.Runtime.report) =
+    ( List.map
+        (fun (res : Server.Sched.result) ->
+          (res.Server.Sched.qid, Adm.Relation.cardinality res.Server.Sched.rows))
+        r.Churn.Runtime.sched.Server.Sched.results,
+      r.Churn.Runtime.mean_staleness, r.Churn.Runtime.p95_staleness,
+      r.Churn.Runtime.verdicts, r.Churn.Runtime.mutations_total,
+      r.Churn.Runtime.wire.Websim.Fetcher.gets,
+      r.Churn.Runtime.wire.Websim.Fetcher.heads )
+  in
+  let probe () = run ~rate:0.3 ~budget:8.0 ~policy:Churn.Runtime.Incremental () in
+  let repeat_identical = digest (probe ()) = digest (probe ()) in
+  let domains_invariant =
+    digest (run ~domains:4 ~rate:0.3 ~budget:8.0 ~policy:Churn.Runtime.Incremental ())
+    = digest (probe ())
+  in
+  Fmt.pr "@.determinism: repeat %s, domains 1 vs 4 %s@."
+    (if repeat_identical then "identical" else "DIVERGED")
+    (if domains_invariant then "identical" else "DIVERGED");
+  let oc = open_out "BENCH_churn.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"suite\": \"churn\",\n\
+    \  \"site_pages\": %d, \"queries\": %d, \"workload_seed\": %d, \
+     \"churn_seed\": %d,\n\
+    \  \"concurrency\": 4, \"quantum\": 1, \"max_age\": %d, \"head_cost\": 1.0, \
+     \"get_cost\": 10.0,\n\
+    \  \"grid\": [\n"
+    !site_pages n_queries wseed churn_seed max_age;
+  let n_grid = List.length grid in
+  List.iteri
+    (fun i (rate_name, rate, budget, policy, (r : Churn.Runtime.report)) ->
+      let m = r.Churn.Runtime.maintenance in
+      Printf.fprintf oc
+        "    { \"churn\": \"%s\", \"rate\": %.2f, \"budget\": %.1f, \
+         \"policy\": \"%s\",\n\
+        \      \"mean_staleness\": %.4f, \"p95_staleness\": %.2f, \
+         \"violations\": %d,\n\
+        \      \"verdicts\": { %s },\n\
+        \      \"maintenance_heads\": %d, \"maintenance_gets\": %d, \
+         \"validated\": %d, \"swept\": %d, \"purged\": %d, \"denied\": %d,\n\
+        \      \"full_refreshes\": %d, \"budget_spent\": %.1f, \
+         \"wire_gets\": %d, \"wire_heads\": %d, \"wire_bytes\": %d,\n\
+        \      \"mutations\": %d, \"store_pages\": %d }%s\n"
+        rate_name rate budget
+        (Churn.Runtime.policy_to_string policy)
+        r.Churn.Runtime.mean_staleness r.Churn.Runtime.p95_staleness
+        r.Churn.Runtime.violations
+        (String.concat ", "
+           (List.map
+              (fun (v, n) -> Printf.sprintf "\"%s\": %d" v n)
+              r.Churn.Runtime.verdicts))
+        m.Churn.Maintain.heads m.Churn.Maintain.gets_refreshed
+        m.Churn.Maintain.validated m.Churn.Maintain.swept
+        m.Churn.Maintain.purged m.Churn.Maintain.denied
+        r.Churn.Runtime.full_refreshes r.Churn.Runtime.budget_spent
+        r.Churn.Runtime.wire.Websim.Fetcher.gets
+        r.Churn.Runtime.wire.Websim.Fetcher.heads
+        r.Churn.Runtime.wire.Websim.Fetcher.bytes
+        r.Churn.Runtime.mutations_total r.Churn.Runtime.store_pages
+        (if i = n_grid - 1 then "" else ","))
+    grid;
+  Printf.fprintf oc "  ],\n  \"incremental_vs_full_refresh\": [\n";
+  let n_acc = List.length acceptance in
+  List.iteri
+    (fun i (name, budget, inc, full, ok) ->
+      Printf.fprintf oc
+        "    { \"churn\": \"%s\", \"budget\": %.1f, \
+         \"incremental_mean_staleness\": %.4f, \
+         \"full_refresh_mean_staleness\": %.4f, \
+         \"incremental_strictly_lower\": %b }%s\n"
+        name budget inc full ok
+        (if i = n_acc - 1 then "" else ","))
+    acceptance;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"determinism\": { \"repeat_identical\": %b, \
+     \"domains_invariant\": %b }\n}\n"
+    repeat_identical domains_invariant;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_churn.json (%d grid points)@." n_grid;
+  if
+    (not (List.for_all (fun (_, _, _, _, ok) -> ok) acceptance))
+    || (not repeat_identical) || not domains_invariant
+  then begin
+    Fmt.epr "bench-churn acceptance FAILED@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1583,13 +1792,14 @@ let () =
   | [ "exec" ] -> exec_bench ()
   | [ "server" ] -> server_bench ()
   | [ "analyze" ] -> analyze_bench ()
+  | [ "churn" ] -> churn_bench ()
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
         | Some f -> f ()
         | None ->
-          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel, fetch, exec, server, analyze)@." name
+          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel, fetch, exec, server, analyze, churn)@." name
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names

@@ -12,6 +12,10 @@
      webviews serve    [--site ...] [--workload FILE | --queries N]
                        [--concurrency K] [--quantum N] [--policy rr|priority]
                        [--deadline MS] [--stale] [--faults R] [--latency]
+                       [--churn RATE] [--budget U] [--max-age N] [--json]
+     webviews churn    [--site ...] [--churn-rate R] [--budget U] [--max-age N]
+                       [--maintenance incremental|full-refresh|none]
+                       [--queries N] [--json] [--fail-on-violation]
      webviews matview  [--site ...] "SELECT ..."
      webviews check    [--site ...] [--cap N] [--strict] ["SELECT ..." ...]
      webviews analyze  [--site ...] [--format text|json] [--strict]
@@ -604,20 +608,234 @@ let analyze_cmd =
           $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg
           $ strict_arg $ format_arg $ sqls_arg)
 
-let serve_cmd =
-  let run workload n wseed concurrency quantum policy deadline faults latency
-      window retries net_seed use_stale max_resident domains site_kind loaded =
+(* ------------------------------------------------------------------ *)
+(* churn: the live-churn runtime (mutations + maintenance + SLAs)      *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_freshness = function
+  | None -> "null"
+  | Some (f : Server.Sched.freshness) ->
+    Fmt.str
+      "{\"verdict\":\"%s\",\"pages_served\":%d,\"stale_served\":%d,\
+       \"mean_staleness\":%.3f,\"max_staleness\":%d,\"checks_denied\":%d,\
+       \"pages_missing\":%d}"
+      (Server.Sched.verdict_to_string f.Server.Sched.verdict)
+      f.Server.Sched.pages_served f.Server.Sched.stale_served
+      f.Server.Sched.mean_staleness f.Server.Sched.max_staleness
+      f.Server.Sched.checks_denied f.Server.Sched.pages_missing
+
+let json_of_result (r : Server.Sched.result) =
+  Fmt.str
+    "{\"qid\":%d,\"label\":\"%s\",\"rows\":%d,\"complete\":%b,\
+     \"stale_pages\":%d,\"missing_pages\":%d,\"elapsed_ms\":%.3f,\
+     \"freshness\":%s}"
+    r.Server.Sched.qid
+    (json_escape r.Server.Sched.label)
+    (Adm.Relation.cardinality r.Server.Sched.rows)
+    r.Server.Sched.completeness.Server.Sched.complete
+    r.Server.Sched.completeness.Server.Sched.stale_pages
+    r.Server.Sched.completeness.Server.Sched.missing_pages
+    r.Server.Sched.elapsed_ms
+    (json_of_freshness r.Server.Sched.freshness)
+
+let json_of_sched_report (r : Server.Sched.report) =
+  Fmt.str
+    "{\"makespan_ms\":%.3f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"domains\":%d,\
+     \"turns\":%d,\"queries\":[%s]}"
+    r.Server.Sched.makespan_ms r.Server.Sched.p50_ms r.Server.Sched.p95_ms
+    r.Server.Sched.domains r.Server.Sched.turns
+    (String.concat "," (List.map json_of_result r.Server.Sched.results))
+
+let json_of_churn_report (r : Churn.Runtime.report) =
+  let m = r.Churn.Runtime.maintenance in
+  Fmt.str
+    "{\"policy\":\"%s\",\"ticks\":%d,\"mutations\":%d,\
+     \"mutations_by_kind\":{%s},\
+     \"maintenance\":{\"slices\":%d,\"heads\":%d,\"gets_refreshed\":%d,\
+     \"validated\":%d,\"gone\":%d,\"purged\":%d,\"swept\":%d,\"denied\":%d},\
+     \"full_refreshes\":%d,\"budget_spent\":%.1f,\"budget_denied\":%d,\
+     \"verdicts\":{%s},\"violations\":%d,\
+     \"mean_staleness\":%.4f,\"p95_staleness\":%.2f,\"store_pages\":%d,\
+     \"wire\":{\"gets\":%d,\"heads\":%d,\"bytes\":%d,\"head_bytes\":%d},\
+     \"sched\":%s}"
+    (Churn.Runtime.policy_to_string r.Churn.Runtime.policy)
+    r.Churn.Runtime.ticks r.Churn.Runtime.mutations_total
+    (String.concat ","
+       (List.map
+          (fun (k, n) ->
+            Fmt.str "\"%s\":%d" (Churn.Traffic.kind_to_string k) n)
+          r.Churn.Runtime.mutations))
+    m.Churn.Maintain.slices m.Churn.Maintain.heads m.Churn.Maintain.gets_refreshed
+    m.Churn.Maintain.validated m.Churn.Maintain.gone m.Churn.Maintain.purged
+    m.Churn.Maintain.swept m.Churn.Maintain.denied
+    r.Churn.Runtime.full_refreshes r.Churn.Runtime.budget_spent
+    r.Churn.Runtime.budget_denied
+    (String.concat ","
+       (List.map (fun (v, n) -> Fmt.str "\"%s\":%d" v n) r.Churn.Runtime.verdicts))
+    r.Churn.Runtime.violations r.Churn.Runtime.mean_staleness
+    r.Churn.Runtime.p95_staleness r.Churn.Runtime.store_pages
+    r.Churn.Runtime.wire.Websim.Fetcher.gets r.Churn.Runtime.wire.Websim.Fetcher.heads
+    r.Churn.Runtime.wire.Websim.Fetcher.bytes
+    r.Churn.Runtime.wire.Websim.Fetcher.head_bytes
+    (json_of_sched_report r.Churn.Runtime.sched)
+
+let templates_for = function
+  | University -> Server.Workload.university_templates
+  | Bibliography -> Server.Workload.bibliography_templates
+  | Catalog -> Server.Workload.catalog_templates
+
+let run_churn ~rate ~churn_seed ~budget ~max_age ~maintenance ~query_check
+    ~entries ~concurrency ~quantum ~domains ~json ~fail_on_violation loaded =
+  if loaded.registry = [] then begin
+    Fmt.epr "this site has no external view@.";
+    exit 2
+  end;
+  let pool = if domains > 1 then Some (Server.Pool.create ~domains) else None in
+  let cfg =
+    Churn.Runtime.config
+      ~profile:(Churn.Profile.make ~rate ())
+      ~churn_seed
+      ~sla:(Churn.Sla.create ~default_max_age:max_age ())
+      ~budget_per_turn:budget ~policy:maintenance ~query_check ()
+  in
+  let stats = stats_of loaded in
+  let http = Websim.Http.connect loaded.site in
+  let sched = Server.Sched.config ~concurrency ~quantum ~domains () in
+  let report =
+    Churn.Runtime.run ~sched ?pool cfg loaded.schema stats loaded.registry http
+      entries
+  in
+  Option.iter Server.Pool.shutdown pool;
+  if json then Fmt.pr "%s@." (json_of_churn_report report)
+  else begin
+    Fmt.pr "%d queries, concurrency %d, quantum %d, domains %d, churn %.3f/tick@.@."
+      (List.length entries) concurrency quantum domains rate;
+    Fmt.pr "%a@." Churn.Runtime.pp_report report
+  end;
+  if fail_on_violation && report.Churn.Runtime.violations > 0 then exit 3
+
+let maintenance_conv =
+  let parse s =
+    match Churn.Runtime.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error (`Msg (Fmt.str "unknown maintenance policy %S (incremental|full-refresh|none)" s))
+  in
+  let print ppf p = Fmt.string ppf (Churn.Runtime.policy_to_string p) in
+  Arg.conv (parse, print)
+
+let churn_cmd =
+  let run rate churn_seed budget max_age maintenance no_query_check workload n
+      wseed concurrency quantum domains json fail_on_violation site_kind loaded =
     let entries =
       match workload with
       | Some path -> Server.Workload.load path
       | None ->
-        let templates =
-          match site_kind with
-          | University -> Server.Workload.university_templates
-          | Bibliography -> Server.Workload.bibliography_templates
-          | Catalog -> Server.Workload.catalog_templates
-        in
-        Server.Workload.generate ~templates ~seed:wseed ~n ()
+        Server.Workload.generate ~templates:(templates_for site_kind) ~seed:wseed
+          ~n ()
+    in
+    run_churn ~rate ~churn_seed ~budget ~max_age ~maintenance
+      ~query_check:(not no_query_check) ~entries ~concurrency ~quantum ~domains
+      ~json ~fail_on_violation loaded
+  in
+  let rate_arg =
+    Arg.(value & opt float 0.05 & info [ "churn-rate" ] ~docv:"RATE"
+           ~doc:"Expected site mutations per simulated clock tick (may be \
+                 fractional; the generator carries the remainder \
+                 deterministically).")
+  in
+  let churn_seed_arg =
+    Arg.(value & opt int 42 & info [ "churn-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the mutation-traffic generator.")
+  in
+  let budget_arg =
+    Arg.(value & opt float 8.0 & info [ "budget" ] ~docv:"UNITS"
+           ~doc:"Wire budget per scheduler turn, in Function 2's cost model \
+                 (HEAD = 1 unit, GET = 10).")
+  in
+  let max_age_arg =
+    Arg.(value & opt int 100 & info [ "max-age" ] ~docv:"TICKS"
+           ~doc:"Freshness SLA: the age (site-clock ticks) beyond which a \
+                 served stale entry counts as a violation.")
+  in
+  let maintenance_arg =
+    Arg.(value & opt maintenance_conv Churn.Runtime.Incremental
+         & info [ "maintenance" ] ~docv:"POLICY"
+             ~doc:"View maintenance policy: $(b,incremental) (continuous \
+                   HEAD-revalidate / GET-refresh under the budget), \
+                   $(b,full-refresh) (recrawl whenever the budget has accrued \
+                   one), or $(b,none).")
+  in
+  let no_query_check_arg =
+    Arg.(value & flag & info [ "no-query-check" ]
+           ~doc:"Serve stored tuples without query-time freshness checks; \
+                 only the maintenance lane keeps the store fresh.")
+  in
+  let workload_arg =
+    Arg.(value & opt (some file) None & info [ "workload" ] ~docv:"FILE"
+           ~doc:"Workload file (one SQL query per line).")
+  in
+  let n_arg =
+    Arg.(value & opt int 24 & info [ "queries" ] ~docv:"N"
+           ~doc:"Size of the generated workload (ignored with $(b,--workload)).")
+  in
+  let wseed_arg =
+    Arg.(value & opt int 7 & info [ "workload-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the workload generator.")
+  in
+  let concurrency_arg =
+    Arg.(value & opt int 8 & info [ "concurrency" ] ~docv:"K"
+           ~doc:"Resident-query cap (admission control).")
+  in
+  let quantum_arg =
+    Arg.(value & opt int 4 & info [ "quantum" ] ~docv:"N"
+           ~doc:"Cursor steps one query runs per scheduler turn.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Execution lanes; results are identical at every N.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let fail_arg =
+    Arg.(value & flag & info [ "fail-on-violation" ]
+           ~doc:"Exit 3 when any query's freshness SLA was violated \
+                 (for CI smoke stages).")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Run a query workload over a live site: seeded mutation traffic \
+          drives the site on the simulated clock while a maintenance lane \
+          keeps the materialized store fresh under an explicit wire budget \
+          (HEAD-revalidate vs GET-refresh, prioritized by staleness debt and \
+          resident-plan relevance). Reports per-query freshness verdicts \
+          (fresh / stale-within-SLA / violated) and answer-staleness \
+          statistics.")
+    Term.(const (fun site depts profs courses seed rate churn_seed budget
+                     max_age maintenance no_query_check workload n wseed
+                     concurrency quantum domains json fail_on_violation ->
+              with_site
+                (run rate churn_seed budget max_age maintenance no_query_check
+                   workload n wseed concurrency quantum domains json
+                   fail_on_violation site)
+                site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ rate_arg
+          $ churn_seed_arg $ budget_arg $ max_age_arg $ maintenance_arg
+          $ no_query_check_arg $ workload_arg $ n_arg $ wseed_arg
+          $ concurrency_arg $ quantum_arg $ domains_arg $ json_arg $ fail_arg)
+
+let serve_cmd =
+  let run workload n wseed concurrency quantum policy deadline faults latency
+      window retries net_seed use_stale max_resident domains churn churn_seed
+      budget max_age json site_kind loaded =
+    let entries =
+      match workload with
+      | Some path -> Server.Workload.load path
+      | None ->
+        Server.Workload.generate ~templates:(templates_for site_kind) ~seed:wseed
+          ~n ()
     in
     let entries =
       match deadline with
@@ -630,7 +848,18 @@ let serve_cmd =
           entries
     in
     if loaded.registry = [] then Fmt.epr "this site has no external view@."
-    else begin
+    else
+      match churn with
+      | Some rate ->
+        (* live-churn serving: the store-backed runtime takes over the
+           page sourcing and per-query freshness verdicts land in the
+           results (the frozen-site path's netmodel/stale options do
+           not apply here) *)
+        run_churn ~rate ~churn_seed ~budget ~max_age
+          ~maintenance:Churn.Runtime.Incremental ~query_check:true ~entries
+          ~concurrency ~quantum ~domains ~json ~fail_on_violation:false loaded
+      | None ->
+    begin
       let stats = stats_of loaded in
       let specs = Server.Sched.plan_workload loaded.schema stats loaded.registry entries in
       let netmodel =
@@ -662,9 +891,12 @@ let serve_cmd =
       in
       let report = Server.Sched.run ?stale config cache loaded.schema specs in
       Option.iter Server.Pool.shutdown pool;
-      Fmt.pr "%d queries, concurrency %d, quantum %d, domains %d@.@."
-        (List.length specs) concurrency quantum domains;
-      Fmt.pr "%a@." Server.Sched.pp_report report
+      if json then Fmt.pr "%s@." (json_of_sched_report report)
+      else begin
+        Fmt.pr "%d queries, concurrency %d, quantum %d, domains %d@.@."
+          (List.length specs) concurrency quantum domains;
+        Fmt.pr "%a@." Server.Sched.pp_report report
+      end
     end
   in
   let workload_arg =
@@ -754,6 +986,29 @@ let serve_cmd =
            ~doc:"Stop admitting queries while resident ones buffer more \
                  rows than this.")
   in
+  let churn_arg =
+    Arg.(value & opt (some float) None & info [ "churn" ] ~docv:"RATE"
+           ~doc:"Serve over a live site mutating at RATE changes per tick: \
+                 queries answer from an incrementally maintained store and \
+                 each result carries a freshness verdict.")
+  in
+  let churn_seed_arg =
+    Arg.(value & opt int 42 & info [ "churn-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the mutation-traffic generator (with $(b,--churn)).")
+  in
+  let budget_arg =
+    Arg.(value & opt float 8.0 & info [ "budget" ] ~docv:"UNITS"
+           ~doc:"Wire budget per turn for freshness work (with $(b,--churn)).")
+  in
+  let max_age_arg =
+    Arg.(value & opt int 100 & info [ "max-age" ] ~docv:"TICKS"
+           ~doc:"Freshness SLA age threshold (with $(b,--churn)).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the report as JSON (per-query completeness and \
+                 freshness verdicts included).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -761,28 +1016,32 @@ let serve_cmd =
           scheduler interleaves their cursors in batch-sized quanta over one \
           shared page cache, so overlapping navigations hit the network once. \
           Reports per-query results and completeness, the cross-query \
-          coalescing ledger, makespan and fairness percentiles.")
+          coalescing ledger, makespan and fairness percentiles. With \
+          $(b,--churn) the site mutates while being served and every result \
+          carries a freshness verdict.")
     Term.(const (fun site depts profs courses seed workload n wseed concurrency
                      quantum policy deadline faults latency window retries
-                     net_seed use_stale max_resident domains ->
+                     net_seed use_stale max_resident domains churn churn_seed
+                     budget max_age json ->
               with_site
                 (run workload n wseed concurrency quantum policy deadline faults
                    latency window retries net_seed use_stale max_resident domains
-                   site)
+                   churn churn_seed budget max_age json site)
                 site depts profs courses seed)
           $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg
           $ workload_arg $ n_arg $ wseed_arg $ concurrency_arg $ quantum_arg
           $ policy_arg $ deadline_arg $ faults_arg $ latency_arg $ window_arg
           $ retries_arg $ net_seed_arg $ stale_arg $ max_resident_arg
-          $ domains_arg)
+          $ domains_arg $ churn_arg $ churn_seed_arg $ budget_arg $ max_age_arg
+          $ json_arg)
 
 let main_cmd =
   let doc = "Efficient queries over web views (EDBT 1998 reproduction)" in
-  Cmd.group (Cmd.info "webviews" ~doc ~version:"0.6.0")
+  Cmd.group (Cmd.info "webviews" ~doc ~version:"0.7.0")
     [
       scheme_cmd; crawl_cmd; plan_cmd; explain_cmd; query_cmd; run_cmd;
-      serve_cmd; matview_cmd; navigations_cmd; discover_cmd; check_cmd;
-      analyze_cmd;
+      serve_cmd; churn_cmd; matview_cmd; navigations_cmd; discover_cmd;
+      check_cmd; analyze_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -24,4 +24,10 @@ dune exec --profile ci bin/webviews_cli.exe -- serve \
   --profs 300 --courses 600 --queries 32 --domains 2 --latency \
   | tail -n 12
 
+echo "== smoke churn: live mutations, generous budget, zero SLA violations =="
+dune exec --profile ci bin/webviews_cli.exe -- churn \
+  --depts 2 --profs 6 --courses 10 --churn-rate 0.2 --budget 500 \
+  --max-age 30 --queries 24 --fail-on-violation \
+  | tail -n 8
+
 echo "== ci: all green =="

@@ -1,0 +1,151 @@
+type config = {
+  max_actions_per_slice : int;
+  sweep_per_slice : int;
+  debt_threshold : float;
+}
+
+let config ?(max_actions_per_slice = 4) ?(sweep_per_slice = 2) ?(debt_threshold = 0.5)
+    () =
+  {
+    max_actions_per_slice = max 0 max_actions_per_slice;
+    sweep_per_slice = max 0 sweep_per_slice;
+    debt_threshold = Float.max 0.0 debt_threshold;
+  }
+
+let default_config = config ()
+
+type counters = {
+  mutable slices : int;
+  mutable heads : int;
+  mutable gets_refreshed : int;
+  mutable validated : int;
+  mutable gone : int;
+  mutable purged : int;
+  mutable swept : int;
+  mutable denied : int;
+}
+
+type t = {
+  cfg : config;
+  sla : Sla.t;
+  budget : Budget.t;
+  costs : Budget.costs;
+  shared : Server.Shared_cache.t option;
+  store : Webviews.Matview.t;
+  counters : counters;
+}
+
+let create ?(config = default_config) ~sla ~budget ~costs ?shared store =
+  {
+    cfg = config;
+    sla;
+    budget;
+    costs;
+    shared;
+    store;
+    counters =
+      {
+        slices = 0;
+        heads = 0;
+        gets_refreshed = 0;
+        validated = 0;
+        gone = 0;
+        purged = 0;
+        swept = 0;
+        denied = 0;
+      };
+  }
+
+let counters t = t.counters
+
+let store_now t =
+  Websim.Site.clock (Websim.Http.site (Websim.Fetcher.http (Webviews.Matview.fetcher t.store)))
+
+let invalidate_shared t ~scheme ~url =
+  match t.shared with
+  | Some cache -> Server.Shared_cache.invalidate cache ~scheme ~url
+  | None -> ()
+
+(* Drain a bounded, budgeted slice of the CheckMissing backlog. *)
+let sweep_slice t =
+  let backlog = Webviews.Matview.check_missing_backlog t.store in
+  if backlog > 0 && t.cfg.sweep_per_slice > 0 then begin
+    let want = min backlog t.cfg.sweep_per_slice in
+    (* admit the HEADs one by one so a dry bucket stops the drain *)
+    let admitted = ref 0 in
+    while !admitted < want && Budget.admit t.budget t.costs.Budget.head do
+      incr admitted
+    done;
+    if !admitted < want then t.counters.denied <- t.counters.denied + 1;
+    if !admitted > 0 then begin
+      let purged, processed = Webviews.Matview.sweep_limited t.store ~limit:!admitted in
+      t.counters.swept <- t.counters.swept + processed;
+      t.counters.purged <- t.counters.purged + purged;
+      (* the admitted-but-unprocessed remainder (backlog shorter than
+         planned) stays spent: the budget models intent, and the gap
+         is at most one slice's allowance *)
+      ignore processed
+    end
+  end
+
+(* Candidate entries ordered by (relevance, staleness debt, scheme,
+   url): deterministic regardless of store iteration order. *)
+let candidates t ~relevant =
+  let now = store_now t in
+  let acc = ref [] in
+  Webviews.Matview.iter_entries t.store (fun ~scheme ~url ~access_date ->
+      let age = now - access_date in
+      let max_age = Sla.max_age t.sla ~scheme in
+      let debt =
+        if max_age <= 0 then float_of_int age
+        else float_of_int age /. float_of_int max_age
+      in
+      if debt >= t.cfg.debt_threshold then
+        acc := (relevant scheme, debt, scheme, url) :: !acc);
+  List.sort
+    (fun (r1, d1, s1, u1) (r2, d2, s2, u2) ->
+      match Bool.compare r2 r1 with
+      | 0 -> (
+        match Float.compare d2 d1 with
+        | 0 -> ( match String.compare s1 s2 with 0 -> String.compare u1 u2 | c -> c)
+        | c -> c)
+      | c -> c)
+    !acc
+
+let slice t ~relevant =
+  t.counters.slices <- t.counters.slices + 1;
+  sweep_slice t;
+  if t.cfg.max_actions_per_slice > 0 then begin
+    let picked = candidates t ~relevant in
+    let rec go n = function
+      | [] -> ()
+      | _ when n >= t.cfg.max_actions_per_slice -> ()
+      | (_, _, scheme, url) :: rest ->
+        if not (Budget.admit t.budget t.costs.Budget.head) then
+          t.counters.denied <- t.counters.denied + 1 (* dry: stop the slice *)
+        else begin
+          t.counters.heads <- t.counters.heads + 1;
+          (match Webviews.Matview.revalidate t.store ~scheme ~url with
+          | `Current -> t.counters.validated <- t.counters.validated + 1
+          | `Refreshed ->
+            (* the HEAD proved a change: the GET is committed, even
+               into overdraft *)
+            Budget.force t.budget t.costs.Budget.get;
+            t.counters.gets_refreshed <- t.counters.gets_refreshed + 1;
+            invalidate_shared t ~scheme ~url
+          | `Gone ->
+            (* entry dropped and deferred to CheckMissing; the sweep
+               confirms and counts the purge *)
+            t.counters.gone <- t.counters.gone + 1;
+            invalidate_shared t ~scheme ~url
+          | `Unreachable | `Unknown -> ());
+          go (n + 1) rest
+        end
+    in
+    go 0 picked
+  end
+
+let pp_counters ppf c =
+  Fmt.pf ppf
+    "%d slices: %d heads (%d current, %d refreshed, %d gone), %d swept (%d purged), %d denied"
+    c.slices c.heads c.validated c.gets_refreshed c.gone c.swept c.purged c.denied

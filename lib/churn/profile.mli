@@ -1,0 +1,37 @@
+(** Per-site churn profiles: how fast and in what shape a simulated
+    site mutates. A profile is pure data; {!Traffic} interprets it on
+    the site's simulated clock. Rates are expected mutations per site
+    tick and may be fractional — the generator carries the remainder
+    deterministically instead of drawing it. *)
+
+type t = {
+  rate : float;  (** expected mutations per site-clock tick *)
+  hot_fraction : float;  (** share of the page set forming the hot set *)
+  hot_bias : float;  (** probability a mutation targets the hot set *)
+  tombstone_rate : float;  (** share of mutations that delete a page *)
+  insert_rate : float;  (** share that resurrect a tombstoned page *)
+  touch_share : float;
+      (** among the remaining update mutations: probability of a pure
+          [touch] (Last-Modified bump) rather than a body [edit] *)
+  burst_every : int;  (** ticks between burst windows; 0 = steady *)
+  burst_len : int;  (** ticks a burst lasts *)
+  burst_mult : float;  (** rate multiplier inside a burst *)
+}
+
+val make :
+  ?hot_fraction:float -> ?hot_bias:float -> ?tombstone_rate:float ->
+  ?insert_rate:float -> ?touch_share:float -> ?burst_every:int ->
+  ?burst_len:int -> ?burst_mult:float -> rate:float -> unit -> t
+(** Defaults: hot 10% of pages absorbing 70% of mutations, 5%
+    tombstones, 5% resurrections, touch/edit split 50/50, steady. *)
+
+val zero : t
+(** No mutations at all — the frozen-snapshot baseline. *)
+
+val low : t
+(** Steady trickle: 0.02 mutations per tick. *)
+
+val high : t
+(** Hot churn: 0.3 mutations per tick with periodic bursts. *)
+
+val pp : t Fmt.t

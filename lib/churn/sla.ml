@@ -1,0 +1,72 @@
+type t = { default_max_age : int; per_view : (string, int) Hashtbl.t }
+
+let create ?(default_max_age = 100) ?(per_view = []) () =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (scheme, age) -> Hashtbl.replace tbl scheme (max 0 age)) per_view;
+  { default_max_age = max 0 default_max_age; per_view = tbl }
+
+let max_age t ~scheme =
+  match Hashtbl.find_opt t.per_view scheme with
+  | Some age -> age
+  | None -> t.default_max_age
+
+type obs = {
+  mutable served : int;
+  mutable stale : int;
+  mutable stale_age_sum : int;
+  mutable stale_age_max : int;
+  mutable violated : int; (* stale entries served beyond their max_age *)
+  mutable denied : int;
+  mutable missing : int;
+}
+
+let obs_create () =
+  {
+    served = 0;
+    stale = 0;
+    stale_age_sum = 0;
+    stale_age_max = 0;
+    violated = 0;
+    denied = 0;
+    missing = 0;
+  }
+
+let observe o ~age ~stale ~within_sla =
+  o.served <- o.served + 1;
+  if stale then begin
+    o.stale <- o.stale + 1;
+    o.stale_age_sum <- o.stale_age_sum + age;
+    if age > o.stale_age_max then o.stale_age_max <- age;
+    if not within_sla then o.violated <- o.violated + 1
+  end
+
+let observe_denied o = o.denied <- o.denied + 1
+let observe_missing o = o.missing <- o.missing + 1
+
+let to_freshness o : Server.Sched.freshness =
+  {
+    Server.Sched.verdict =
+      (if o.violated > 0 then Server.Sched.Violated
+       else if o.stale > 0 then Server.Sched.Stale_within_sla
+       else Server.Sched.Fresh);
+    pages_served = o.served;
+    stale_served = o.stale;
+    mean_staleness =
+      (if o.stale = 0 then 0.0 else float_of_int o.stale_age_sum /. float_of_int o.stale);
+    max_staleness = o.stale_age_max;
+    checks_denied = o.denied;
+    pages_missing = o.missing;
+  }
+
+let merge_verdicts freshnesses =
+  let fresh = ref 0 and within = ref 0 and violated = ref 0 in
+  List.iter
+    (function
+      | None -> ()
+      | Some (f : Server.Sched.freshness) -> (
+        match f.Server.Sched.verdict with
+        | Server.Sched.Fresh -> incr fresh
+        | Server.Sched.Stale_within_sla -> incr within
+        | Server.Sched.Violated -> incr violated))
+    freshnesses;
+  [ ("fresh", !fresh); ("stale-within-sla", !within); ("violated", !violated) ]

@@ -1,0 +1,43 @@
+(** Per-view freshness SLAs and the per-query verdict accumulator.
+
+    A target is a [max_age] in site-clock ticks per page-scheme (a
+    "view" here is a scheme's page-relation): an answer may use a
+    stored entry whose age is at most the scheme's [max_age] — the
+    paper's controlled level of obsolescence, made per-view. Verdicts
+    are measured against the oracle truth (the live site's
+    Last-Modified), which only the bench and the report peek at:
+
+    - [Fresh]: no entry the answer used had actually changed;
+    - [Stale_within_sla]: some had, but every one was within its
+      [max_age];
+    - [Violated]: a changed entry older than its [max_age] was served. *)
+
+type t
+
+val create : ?default_max_age:int -> ?per_view:(string * int) list -> unit -> t
+(** Default [default_max_age]: 100 ticks. *)
+
+val max_age : t -> scheme:string -> int
+
+(** Mutable per-query observation accumulator; one per resident query,
+    fed by the store-backed page source, folded into a
+    {!Server.Sched.freshness} at finalization. *)
+type obs
+
+val obs_create : unit -> obs
+
+val observe : obs -> age:int -> stale:bool -> within_sla:bool -> unit
+(** One store entry served: its age (ticks since validation), whether
+    the oracle says the live page has changed ([stale]), and whether
+    the age was within the scheme's [max_age]. *)
+
+val observe_denied : obs -> unit
+(** A freshness check was skipped because the wire budget was dry. *)
+
+val observe_missing : obs -> unit
+(** The entry is gone from both the site and the store. *)
+
+val to_freshness : obs -> Server.Sched.freshness
+val merge_verdicts : Server.Sched.freshness option list -> (string * int) list
+(** Verdict histogram in [fresh; stale-within-sla; violated] order
+    (absent freshness records are skipped). *)

@@ -141,6 +141,10 @@ let diff_outlinks t ps ~old_tuple ~new_tuple =
 let fetcher t = t.fetcher
 
 let download t ~scheme ~url =
+  (* drop any cached copy first: a caching fetcher would otherwise
+     answer the re-download with the very body the preceding HEAD
+     just proved out of date *)
+  Websim.Fetcher.invalidate t.fetcher url;
   match Websim.Fetcher.get t.fetcher url with
   | Websim.Fetcher.Absent -> None
   | Websim.Fetcher.Unreachable ->
@@ -156,6 +160,52 @@ let download t ~scheme ~url =
     let now = Websim.Site.clock (Websim.Http.site t.http) in
     Hashtbl.replace (table t scheme) url { tuple; access_date = now };
     Some tuple
+
+let now t = Websim.Site.clock (Websim.Http.site t.http)
+
+let entry_date t ~scheme ~url =
+  match Hashtbl.find_opt (table t scheme) url with
+  | Some e -> Some e.access_date
+  | None -> None
+
+let iter_entries t f =
+  Hashtbl.iter
+    (fun scheme tbl ->
+      Hashtbl.iter (fun url entry -> f ~scheme ~url ~access_date:entry.access_date) tbl)
+    t.tables
+
+(* Maintenance-side URLCheck: revalidate one stored entry with a light
+   connection, re-downloading only on a proven change. Unlike
+   {!url_check} this ignores the per-query status flags (maintenance
+   runs between queries, against the shared store) and treats a 404 as
+   definitive — the HEAD itself is the sweep. *)
+let revalidate t ~scheme ~url =
+  match Hashtbl.find_opt (table t scheme) url with
+  | None -> `Unknown
+  | Some entry -> (
+    t.counters.light_connections <- t.counters.light_connections + 1;
+    match Websim.Fetcher.head t.fetcher url with
+    | Websim.Fetcher.Absent ->
+      (* same flow as url_check: drop the entry now, defer the
+         definitive purge to the CheckMissing sweep *)
+      Hashtbl.remove (table t scheme) url;
+      t.counters.missing_pages <- t.counters.missing_pages + 1;
+      if not (List.mem_assoc url t.check_missing) then
+        t.check_missing <- (url, scheme) :: t.check_missing;
+      `Gone
+    | Websim.Fetcher.Unreachable -> `Unreachable
+    | Websim.Fetcher.Fetched last_modified ->
+      if entry.access_date < last_modified then
+        match download t ~scheme ~url with Some _ -> `Refreshed | None -> `Gone
+      else begin
+        Hashtbl.replace (table t scheme) url { entry with access_date = now t };
+        `Current
+      end)
+
+(* Force-refresh one page regardless of the stored copy: a wire GET
+   (the fetcher cache is bypassed), wrap, store. Also how a page not
+   yet in the store enters it. *)
+let download_entry t ~scheme ~url = download t ~scheme ~url
 
 (* Function 2: URLCheck. Returns the up-to-date tuple for [url], or
    None when the page is gone. *)
@@ -258,28 +308,34 @@ let query_counted ?max_age t plan =
 (* Off-line processing of CheckMissing: URLs whose page is actually
    gone are purged from the store; the others were false alarms
    (pages still exist, merely no longer linked from where we looked). *)
-let offline_sweep ?via t =
+let sweep_limited ?via t ~limit =
   let fetcher = Option.value via ~default:t.fetcher in
-  let deleted = ref 0 in
+  let deleted = ref 0 and processed = ref 0 in
   let backlog =
     List.filter
       (fun (url, scheme) ->
-        match Websim.Fetcher.head fetcher url with
-        | Websim.Fetcher.Absent ->
-          Hashtbl.remove (table t scheme) url;
-          incr deleted;
-          false
-        | Websim.Fetcher.Fetched _ ->
-          (* false alarm: still exists, merely unlinked where we looked *)
-          false
-        | Websim.Fetcher.Unreachable ->
-          (* can't tell gone from down: keep for the next sweep instead
-             of purging a page that may only be transiently missing *)
-          true)
+        if !processed >= limit then true (* over budget: keep for later *)
+        else begin
+          incr processed;
+          match Websim.Fetcher.head fetcher url with
+          | Websim.Fetcher.Absent ->
+            Hashtbl.remove (table t scheme) url;
+            incr deleted;
+            false
+          | Websim.Fetcher.Fetched _ ->
+            (* false alarm: still exists, merely unlinked where we looked *)
+            false
+          | Websim.Fetcher.Unreachable ->
+            (* can't tell gone from down: keep for the next sweep instead
+               of purging a page that may only be transiently missing *)
+            true
+        end)
       t.check_missing
   in
   t.check_missing <- backlog;
-  !deleted
+  (!deleted, !processed)
+
+let offline_sweep ?via t = fst (sweep_limited ?via t ~limit:max_int)
 
 (* Full consistency pass: recrawl the site and replace the store
    (the paper's "periodically check the whole view"). *)

@@ -43,6 +43,27 @@ val url_check : t -> scheme:string -> url:string -> Adm.Value.tuple option
     light connection reports a change; [None] when the page is gone or
     flagged missing. *)
 
+val entry_date : t -> scheme:string -> url:string -> int option
+(** Access date (site-clock ticks) of the stored entry, if any. *)
+
+val iter_entries : t -> (scheme:string -> url:string -> access_date:int -> unit) -> unit
+(** Iterate every stored entry (unspecified order — sort before acting
+    when determinism matters). *)
+
+val revalidate :
+  t -> scheme:string -> url:string -> [ `Current | `Refreshed | `Gone | `Unreachable | `Unknown ]
+(** Maintenance-side URLCheck on one stored entry: a light connection,
+    then a re-download only on a proven change ([`Refreshed]).
+    [`Current] bumps the access date; [`Gone] (404) drops the entry
+    and enqueues it on CheckMissing for the sweep, exactly as
+    {!url_check} does; [`Unknown] = nothing stored under that key.
+    Per-query status flags are untouched. *)
+
+val download_entry : t -> scheme:string -> url:string -> Adm.Value.tuple option
+(** Force-refresh one page: a wire GET (any fetcher-cached copy is
+    invalidated first), wrap, store. Also admits a page not yet in the
+    store. [None] when the page is definitively gone. *)
+
 val source : t -> Eval.source
 (** The page source backed by the store (URLCheck per fetch). *)
 
@@ -60,6 +81,11 @@ type query_report = {
 }
 
 val query_counted : ?max_age:int -> t -> Nalg.expr -> query_report
+
+val sweep_limited : ?via:Websim.Fetcher.t -> t -> limit:int -> int * int
+(** Process at most [limit] CheckMissing entries (oldest kept at the
+    back of the backlog list); returns [(purged, processed)]. The
+    budgeted form of {!offline_sweep} used by the maintenance lane. *)
 
 val offline_sweep : ?via:Websim.Fetcher.t -> t -> int
 (** Process CheckMissing off-line; returns the number of pages that

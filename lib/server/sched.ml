@@ -115,11 +115,26 @@ type completeness = {
   missing_pages : int; (* pages neither fetchable nor stored *)
 }
 
+(* Per-query freshness SLA verdicts (the churn runtime fills these in
+   through [?probe]; the scheduler itself only carries them). *)
+type freshness_verdict = Fresh | Stale_within_sla | Violated
+
+type freshness = {
+  verdict : freshness_verdict;
+  pages_served : int; (* store entries this answer used *)
+  stale_served : int; (* entries whose live page had already changed *)
+  mean_staleness : float; (* mean age of the stale entries, site ticks *)
+  max_staleness : int; (* oldest stale entry served, site ticks *)
+  checks_denied : int; (* freshness checks skipped: wire budget gone *)
+  pages_missing : int; (* entries gone from both the site and the store *)
+}
+
 type result = {
   qid : int;
   label : string;
   rows : Adm.Relation.t;
   completeness : completeness;
+  freshness : freshness option; (* present only under a churn runtime *)
   elapsed_ms : float; (* simulated lane-model time: admit → final *)
   service_ms : float; (* lane time this query's own fetching consumed *)
   wait_ms : float; (* elapsed - service: queueing behind other quanta *)
@@ -254,9 +269,9 @@ let percentile q xs =
 (* The scheduler loop                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let run ?stale ?on_result ?(keep_rows = true) (cfg : config)
-    (cache : Shared_cache.t) (schema : Adm.Schema.t) (specs : spec list) :
-    report =
+let run ?stale ?on_result ?(keep_rows = true) ?on_turn ?source_for ?probe
+    (cfg : config) (cache : Shared_cache.t) (schema : Adm.Schema.t)
+    (specs : spec list) : report =
   let fetcher = Shared_cache.fetcher cache in
   let now () = Websim.Fetcher.now_ms fetcher in
   let fetch_before = Shared_cache.report cache in
@@ -319,6 +334,7 @@ let run ?stale ?on_result ?(keep_rows = true) (cfg : config)
         label = j.spec.label;
         rows;
         completeness;
+        freshness = (match probe with Some f -> f ~qid:j.spec.qid | None -> None);
         elapsed_ms = elapsed;
         service_ms = j.service_ms;
         wait_ms = Float.max 0.0 (elapsed -. j.service_ms);
@@ -378,7 +394,14 @@ let run ?stale ?on_result ?(keep_rows = true) (cfg : config)
     do
       let spec = Queue.pop pending in
       let stale_c = ref 0 and missing_c = ref 0 in
-      let source = job_source cache ~qid:spec.qid ?stale schema (stale_c, missing_c) in
+      (* A churn runtime substitutes its own store-backed source per
+         query; the stale/missing cells then stay at 0 and the story
+         moves into the [freshness] record instead. *)
+      let source =
+        match (match source_for with Some f -> f spec | None -> None) with
+        | Some s -> s
+        | None -> job_source cache ~qid:spec.qid ?stale schema (stale_c, missing_c)
+      in
       let engine =
         match
           Webviews.Physplan.lower ~window:source.Webviews.Eval.window schema
@@ -435,6 +458,13 @@ let run ?stale ?on_result ?(keep_rows = true) (cfg : config)
   let rec loop () =
     admit ();
     peak_queries := max !peak_queries (List.length !resident);
+    (* The churn hook: mutation traffic and the maintenance lane run
+       here, between quanta, keyed by the turn counter alone — the
+       turn sequence is the same at every domain count, so everything
+       the hook does is domain-count-invariant by construction. *)
+    (match on_turn with
+    | Some f -> f ~turn:!turn ~resident:(List.map (fun (j, _, _) -> j.spec) !resident)
+    | None -> ());
     rotate ();
     match pick () with
     | None -> ()
@@ -526,11 +556,29 @@ let pp_completeness ppf c =
       (if c.deadline_hit then "deadline, " else "")
       c.stale_pages c.missing_pages
 
+let verdict_to_string = function
+  | Fresh -> "fresh"
+  | Stale_within_sla -> "stale-within-sla"
+  | Violated -> "violated"
+
+let pp_freshness_verdict ppf v = Fmt.string ppf (verdict_to_string v)
+
+let pp_freshness ppf f =
+  Fmt.pf ppf "%a (%d pages, %d stale" pp_freshness_verdict f.verdict f.pages_served
+    f.stale_served;
+  if f.stale_served > 0 then
+    Fmt.pf ppf ", age mean %.1f max %d" f.mean_staleness f.max_staleness;
+  if f.checks_denied > 0 then Fmt.pf ppf ", %d denied" f.checks_denied;
+  if f.pages_missing > 0 then Fmt.pf ppf ", %d missing" f.pages_missing;
+  Fmt.string ppf ")"
+
 let pp_result ppf r =
-  Fmt.pf ppf "q%-3d %4d rows  %8.1f ms (%0.1f svc + %0.1f wait, lane %d)  %2d steps  %a  %s"
+  Fmt.pf ppf "q%-3d %4d rows  %8.1f ms (%0.1f svc + %0.1f wait, lane %d)  %2d steps  %a  %a%s"
     r.qid
     (Adm.Relation.cardinality r.rows)
     r.elapsed_ms r.service_ms r.wait_ms r.lane r.steps pp_completeness r.completeness
+    (Fmt.option (fun ppf f -> Fmt.pf ppf "%a  " pp_freshness f))
+    r.freshness
     (if String.length r.label > 56 then String.sub r.label 0 53 ^ "..."
      else r.label)
 

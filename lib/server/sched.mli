@@ -76,11 +76,30 @@ type completeness = {
   missing_pages : int;  (** pages neither fetchable nor stored *)
 }
 
+(** Per-query freshness SLA verdict, filled in by a churn runtime
+    through {!run}'s [probe] (the scheduler itself only carries it):
+    [Fresh] — no entry the answer used had changed on the live site;
+    [Stale_within_sla] — some had, but every served entry was younger
+    than its view's [max_age]; [Violated] — a stale entry older than
+    its [max_age] was served. *)
+type freshness_verdict = Fresh | Stale_within_sla | Violated
+
+type freshness = {
+  verdict : freshness_verdict;
+  pages_served : int;  (** store entries this answer used *)
+  stale_served : int;  (** entries whose live page had already changed *)
+  mean_staleness : float;  (** mean age of the stale entries, site ticks *)
+  max_staleness : int;  (** oldest stale entry served, site ticks *)
+  checks_denied : int;  (** freshness checks skipped: wire budget gone *)
+  pages_missing : int;  (** entries gone from both the site and the store *)
+}
+
 type result = {
   qid : int;
   label : string;
   rows : Adm.Relation.t;  (** partial unless [completeness.complete] *)
   completeness : completeness;
+  freshness : freshness option;  (** present only under a churn runtime *)
   elapsed_ms : float;  (** simulated lane-model time: admit → final *)
   service_ms : float;  (** lane time this query's own fetching consumed *)
   wait_ms : float;  (** [elapsed - service]: queueing behind other quanta *)
@@ -110,6 +129,9 @@ val run :
   ?stale:Webviews.Matview.t ->
   ?on_result:(result -> unit) ->
   ?keep_rows:bool ->
+  ?on_turn:(turn:int -> resident:spec list -> unit) ->
+  ?source_for:(spec -> Webviews.Eval.source option) ->
+  ?probe:(qid:int -> freshness option) ->
   config -> Shared_cache.t -> Adm.Schema.t -> spec list -> report
 (** Run the workload to completion (every query finishes or hits its
     deadline). [stale] enables degradation to stored tuples for
@@ -118,11 +140,23 @@ val run :
     [keep_rows:false] the report then stores each result with an empty
     relation (header preserved) so 10^3-query runs do not retain 10^7
     rows. The [cache] is not reset: a pre-warmed or reused cache
-    simply yields more sharing, visible in the ledger. *)
+    simply yields more sharing, visible in the ledger.
+
+    The churn hooks: [on_turn] fires between quanta at the top of
+    every scheduler turn, keyed by the turn counter alone (the turn
+    sequence is identical at every domain count, so anything it does
+    is domain-count-invariant); mutation traffic and the maintenance
+    lane run here. [source_for] substitutes a per-query page source
+    (e.g. one backed by a maintained store) — when it returns [None]
+    the ordinary shared-cache source is used. [probe] is asked for a
+    {!freshness} record when a query finalizes. *)
 
 val percentile : float -> float list -> float
 (** Nearest-rank percentile; 0.0 on the empty list, NaN-quantile safe. *)
 
 val pp_completeness : completeness Fmt.t
+val verdict_to_string : freshness_verdict -> string
+val pp_freshness_verdict : freshness_verdict Fmt.t
+val pp_freshness : freshness Fmt.t
 val pp_result : result Fmt.t
 val pp_report : report Fmt.t

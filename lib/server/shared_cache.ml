@@ -218,6 +218,14 @@ let store_tuple t ~scheme ~url tuple =
   let shard = shard_of t url in
   with_shard shard (fun () -> Hashtbl.replace shard.tuples (tuple_key ~scheme ~url) tuple)
 
+(* Drop one (scheme, url) from the tuple tier and the page LRU, so the
+   next fetch re-downloads and re-extracts. The maintenance lane calls
+   this when it proves a cached page changed or vanished. *)
+let invalidate t ~scheme ~url =
+  let shard = shard_of t url in
+  with_shard shard (fun () -> Hashtbl.remove shard.tuples (tuple_key ~scheme ~url));
+  Websim.Fetcher.invalidate t.fetcher url
+
 type tuple_fetched =
   | Tuple of Adm.Value.tuple
   | Absent (* the page does not exist *)

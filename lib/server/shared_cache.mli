@@ -43,6 +43,12 @@ val get : t -> query:int -> string -> Websim.Fetcher.page Websim.Fetcher.fetched
 val prefetch : t -> query:int -> string list -> unit
 (** Batch warm-up on behalf of [query] ({!Websim.Fetcher.prefetch}). *)
 
+val invalidate : t -> scheme:string -> url:string -> unit
+(** Drop one (scheme, url) from the tuple tier {e and} the shared page
+    LRU, so the next fetch re-downloads and re-extracts. Called by the
+    maintenance lane once a revalidation proves the cached copy out of
+    date. *)
+
 type tuple_fetched =
   | Tuple of Adm.Value.tuple
   | Absent  (** the page does not exist *)

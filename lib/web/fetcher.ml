@@ -603,4 +603,15 @@ let cached_body t url =
   | Some { entry = Live page; _ } -> Some page.body
   | Some { entry = Gone; _ } | None -> None
 
+(* Drop [url] from the page cache so the next access goes to the wire.
+   Needed by the materialized store: once a HEAD has proved the page
+   changed, re-downloading through a caching fetcher must not serve
+   the very copy the HEAD just invalidated. *)
+let invalidate t url =
+  match Hashtbl.find_opt t.cache.table url with
+  | None -> ()
+  | Some n ->
+    cache_unlink t.cache n;
+    Hashtbl.remove t.cache.table url
+
 let report t : report = merge_report (Http.snapshot t.http) (counters_snapshot t.counters)

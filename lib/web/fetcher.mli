@@ -146,3 +146,9 @@ val cached_body : t -> string -> string option
 (** Read-only peek at the cached body of a URL: no counters, no LRU
     reordering, no network. For the parallel extraction tier, which
     must not perturb the deterministic fetch sequence. *)
+
+val invalidate : t -> string -> unit
+(** Drop [url] from the page cache (positive or negative entry alike)
+    so the next access goes to the wire. Used after a HEAD has proved
+    the cached copy out of date: a refresh through a caching fetcher
+    must not be answered by the very entry the HEAD invalidated. *)

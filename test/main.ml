@@ -23,4 +23,5 @@ let () =
       Test_netsim.suite;
       Test_exec.suite;
       Test_server.suite;
+      Test_churn.suite;
     ]

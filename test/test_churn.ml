@@ -1,0 +1,414 @@
+(* Tests for the live-churn runtime: bare site mutation semantics
+   (delete / touch / insert), fetcher-cache coherence under mutation,
+   the seeded traffic generator, the wire budget, the maintenance
+   engine, and the freshness SLA layer threaded through Sched results.
+   Includes the issue's QCheck property: at churn rate 0 the
+   maintenance engine performs no GET refreshes and serve results are
+   byte-identical to a no-churn run across seeds 7/21/42 and 1 vs 4
+   domains. *)
+
+open Webviews
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let schema = Sitegen.University.schema
+let registry = Sitegen.University.view
+
+let setup () =
+  let uni = Sitegen.University.build () in
+  let site = Sitegen.University.site uni in
+  let http = Websim.Http.connect site in
+  (uni, site, http)
+
+let stats_of http = Stats.of_instance (Websim.Crawler.crawl schema http)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: bare site mutation semantics                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_delete_is_definitive_404 () =
+  let uni, site, http = setup () in
+  let url = Sitegen.University.prof_url (List.hd (Sitegen.University.profs uni)).Sitegen.University.p_name in
+  check bool_t "page exists before" true (Websim.Site.mem site url);
+  Websim.Site.delete site url;
+  check bool_t "page gone from site" false (Websim.Site.mem site url);
+  check bool_t "GET 404s" true (Websim.Http.get http url = None);
+  check bool_t "HEAD 404s" true (Websim.Http.head http url = None)
+
+let test_delete_purged_on_sweep () =
+  let uni, site, http = setup () in
+  let mv = Matview.materialize schema http in
+  let url = Sitegen.University.prof_url (List.hd (Sitegen.University.profs uni)).Sitegen.University.p_name in
+  Websim.Site.delete site url;
+  Websim.Site.tick site;
+  (* URLCheck sees the 404: entry dropped, deferred to CheckMissing *)
+  check bool_t "url_check returns None" true
+    (Matview.url_check mv ~scheme:"ProfPage" ~url = None);
+  check int_t "backlog holds the page" 1 (Matview.check_missing_backlog mv);
+  check bool_t "entry dropped" true (Matview.stored_tuple mv ~scheme:"ProfPage" ~url = None);
+  (* the sweep confirms the 404 and clears the backlog *)
+  check int_t "sweep purges it" 1 (Matview.offline_sweep mv);
+  check int_t "backlog drained" 0 (Matview.check_missing_backlog mv)
+
+let test_touch_observed_by_urlcheck () =
+  let uni, site, http = setup () in
+  let mv = Matview.materialize schema http in
+  let url = Sitegen.University.prof_url (List.hd (Sitegen.University.profs uni)).Sitegen.University.p_name in
+  let lm_before = (Option.get (Websim.Site.find site url)).Websim.Site.last_modified in
+  Websim.Site.tick site;
+  Websim.Site.touch site url;
+  let lm_after = (Option.get (Websim.Site.find site url)).Websim.Site.last_modified in
+  check bool_t "Last-Modified bumped" true (lm_after > lm_before);
+  Matview.reset_counters mv;
+  check bool_t "tuple still served" true
+    (Matview.url_check mv ~scheme:"ProfPage" ~url <> None);
+  let c = Matview.counters mv in
+  check int_t "URLCheck HEAD saw the change" 1 c.Matview.light_connections;
+  check int_t "and re-downloaded" 1 c.Matview.downloads
+
+let test_insert_discoverable_by_recrawl () =
+  let uni, site, http = setup () in
+  let url = Sitegen.University.prof_url (List.hd (Sitegen.University.profs uni)).Sitegen.University.p_name in
+  let body = (Option.get (Websim.Site.find site url)).Websim.Site.body in
+  let count () =
+    let instance = Websim.Crawler.crawl schema http in
+    List.fold_left
+      (fun acc (_, rel) -> acc + Adm.Relation.cardinality rel)
+      0 instance.Websim.Crawler.relations
+  in
+  let full = count () in
+  Websim.Site.delete site url;
+  check int_t "crawl loses the page" (full - 1) (count ());
+  Websim.Site.tick site;
+  Websim.Site.put site ~url ~body;
+  check int_t "re-inserted page rediscovered" full (count ())
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: fetcher-cache coherence under mutation                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_revalidating_cache_sees_touch () =
+  let uni, site, http = setup () in
+  let fetcher =
+    Websim.Fetcher.create
+      ~config:(Websim.Fetcher.config ~cache_capacity:64 ~revalidate_after:0 ())
+      http
+  in
+  let url = Sitegen.University.prof_url (List.hd (Sitegen.University.profs uni)).Sitegen.University.p_name in
+  (match Websim.Fetcher.get fetcher url with
+  | Websim.Fetcher.Fetched _ -> ()
+  | _ -> Alcotest.fail "first fetch");
+  Websim.Site.tick site;
+  ignore (Websim.Site.edit site url (fun b -> b ^ "<!-- v2 -->"));
+  match Websim.Fetcher.get fetcher url with
+  | Websim.Fetcher.Fetched p ->
+    check bool_t "revalidated body is the new one" true
+      (String.length p.Websim.Fetcher.body > 0
+      && p.Websim.Fetcher.last_modified = Websim.Site.clock site)
+  | _ -> Alcotest.fail "second fetch"
+
+let test_negative_cache_clears_on_reinsert () =
+  let uni, site, http = setup () in
+  let fetcher =
+    Websim.Fetcher.create
+      ~config:(Websim.Fetcher.config ~cache_capacity:64 ~revalidate_after:0 ())
+      http
+  in
+  let url = Sitegen.University.prof_url (List.hd (Sitegen.University.profs uni)).Sitegen.University.p_name in
+  let body = (Option.get (Websim.Site.find site url)).Websim.Site.body in
+  Websim.Site.delete site url;
+  check bool_t "404 cached" true (Websim.Fetcher.get fetcher url = Websim.Fetcher.Absent);
+  check bool_t "negative entry served" true
+    (Websim.Fetcher.get fetcher url = Websim.Fetcher.Absent);
+  Websim.Site.tick site;
+  Websim.Site.put site ~url ~body;
+  match Websim.Fetcher.get fetcher url with
+  | Websim.Fetcher.Fetched _ -> ()
+  | _ -> Alcotest.fail "re-inserted page still served as Absent"
+
+(* The regression of the issue: a materialized store sharing a caching
+   fetcher must re-download through the wire once its HEAD proved the
+   page changed — not be answered from the LRU with the very copy the
+   HEAD invalidated. *)
+let test_matview_over_caching_fetcher_is_coherent () =
+  let uni, site, http = setup () in
+  let fetcher =
+    (* trust-for-life LRU: without the explicit invalidation the stale
+       body would be served forever *)
+    Websim.Fetcher.create ~config:(Websim.Fetcher.config ~cache_capacity:8192 ()) http
+  in
+  let mv = Matview.materialize ~fetcher schema http in
+  let url = Sitegen.University.prof_url (List.hd (Sitegen.University.profs uni)).Sitegen.University.p_name in
+  Websim.Site.tick site;
+  ignore (Websim.Site.edit site url (fun b -> b ^ "<!-- v2 -->"));
+  let gets_before = (Websim.Fetcher.report fetcher).Websim.Fetcher.gets in
+  Matview.reset_counters mv;
+  check bool_t "tuple served" true (Matview.url_check mv ~scheme:"ProfPage" ~url <> None);
+  let gets_after = (Websim.Fetcher.report fetcher).Websim.Fetcher.gets in
+  check int_t "URLCheck downloaded" 1 (Matview.counters mv).Matview.downloads;
+  check int_t "and the download crossed the wire" 1 (gets_after - gets_before);
+  check bool_t "entry revalidated to now" true
+    (Matview.entry_date mv ~scheme:"ProfPage" ~url = Some (Websim.Site.clock site))
+
+(* ------------------------------------------------------------------ *)
+(* The traffic generator                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_traffic_deterministic () =
+  let run () =
+    let _, site, _ = setup () in
+    let t =
+      Churn.Traffic.create ~seed:7 ~profile:Churn.Profile.high site
+    in
+    let applied = Churn.Traffic.run_ticks t 200 in
+    (applied, Churn.Traffic.applied_by_kind t, Websim.Site.revision site)
+  in
+  let a = run () and b = run () in
+  check bool_t "same mutations, same revisions" true (a = b);
+  let applied, _, _ = a in
+  check bool_t "high profile actually mutates" true (applied > 0)
+
+let test_traffic_rate_zero_only_ticks () =
+  let _, site, _ = setup () in
+  let rev = Websim.Site.revision site in
+  let clock0 = Websim.Site.clock site in
+  let t = Churn.Traffic.create ~seed:7 ~profile:Churn.Profile.zero site in
+  check int_t "no mutations at rate 0" 0 (Churn.Traffic.run_ticks t 500);
+  check int_t "applied counter agrees" 0 (Churn.Traffic.applied t);
+  check int_t "revision untouched" rev (Websim.Site.revision site);
+  check int_t "but the clock advanced" (clock0 + 500) (Websim.Site.clock site)
+
+let test_traffic_protects_entry_points () =
+  let _, site, _ = setup () in
+  let profile =
+    Churn.Profile.make ~rate:1.0 ~tombstone_rate:1.0 ~insert_rate:0.0 ()
+  in
+  let t =
+    Churn.Traffic.create ~seed:11
+      ~protect:[ Sitegen.University.home_url; Sitegen.University.prof_list_url ]
+      ~profile site
+  in
+  ignore (Churn.Traffic.run_ticks t 100);
+  check bool_t "deletes happened" true (Churn.Traffic.tombstones t > 0);
+  check bool_t "entry points survive" true
+    (Websim.Site.mem site Sitegen.University.home_url
+    && Websim.Site.mem site Sitegen.University.prof_list_url)
+
+let test_traffic_insert_resurrects () =
+  let _, site, _ = setup () in
+  let before = Websim.Site.page_count site in
+  let profile =
+    Churn.Profile.make ~rate:1.0 ~tombstone_rate:0.5 ~insert_rate:0.5 ()
+  in
+  let t = Churn.Traffic.create ~seed:3 ~profile site in
+  ignore (Churn.Traffic.run_ticks t 300);
+  let kinds = Churn.Traffic.applied_by_kind t in
+  let n k = List.assoc k kinds in
+  check bool_t "both deletes and inserts occurred" true
+    (n Churn.Traffic.Delete > 0 && n Churn.Traffic.Insert > 0);
+  check int_t "population accounts exactly" before
+    (Websim.Site.page_count site + Churn.Traffic.tombstones t)
+
+(* ------------------------------------------------------------------ *)
+(* The wire budget                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_accounting () =
+  let b = Churn.Budget.create ~per_turn:2.0 () in
+  check bool_t "first unit admitted" true (Churn.Budget.admit b 1.0);
+  check bool_t "second admitted" true (Churn.Budget.admit b 1.0);
+  (* balance now 0: dry *)
+  check bool_t "third denied" false (Churn.Budget.admit b 1.0);
+  check int_t "denial counted" 1 (Churn.Budget.denied b);
+  Churn.Budget.refill b;
+  (* positive again: a big action may overdraw *)
+  check bool_t "overdraft admitted" true (Churn.Budget.admit b 10.0);
+  check bool_t "bucket deep in debt" true (Churn.Budget.balance b < 0.0);
+  check bool_t "and dry again" false (Churn.Budget.admit b 1.0);
+  check bool_t "spend tracked" true (Churn.Budget.spent b = 12.0)
+
+(* ------------------------------------------------------------------ *)
+(* The runtime: maintenance, SLAs, verdicts                            *)
+(* ------------------------------------------------------------------ *)
+
+let runtime_config ?(profile = Churn.Profile.high) ?(policy = Churn.Runtime.Incremental)
+    ?(budget = 1000.0) ?(max_age = 30) ?(seed = 5) () =
+  Churn.Runtime.config ~profile ~churn_seed:seed
+    ~sla:(Churn.Sla.create ~default_max_age:max_age ())
+    ~budget_per_turn:budget ~policy ()
+
+let run_runtime ?sched ?(cfg = runtime_config ()) ~wseed ~n () =
+  let _, _, http = setup () in
+  let workload = Server.Workload.generate ~seed:wseed ~n () in
+  Churn.Runtime.run ?sched cfg schema (stats_of http) registry http workload
+
+let test_runtime_generous_budget_no_violations () =
+  let rep = run_runtime ~wseed:7 ~n:16 () in
+  check int_t "no SLA violations at generous budget" 0 rep.Churn.Runtime.violations;
+  check bool_t "mutations happened" true (rep.Churn.Runtime.mutations_total > 0);
+  check bool_t "maintenance worked" true
+    (rep.Churn.Runtime.maintenance.Churn.Maintain.heads > 0);
+  check bool_t "HEAD-mostly economics" true
+    (rep.Churn.Runtime.maintenance.Churn.Maintain.heads
+    >= rep.Churn.Runtime.maintenance.Churn.Maintain.gets_refreshed)
+
+let test_runtime_freshness_threaded_through_sched () =
+  let rep = run_runtime ~wseed:7 ~n:12 () in
+  let results = rep.Churn.Runtime.sched.Server.Sched.results in
+  check int_t "every result carries a freshness verdict"
+    (List.length results)
+    (List.length
+       (List.filter
+          (fun (r : Server.Sched.result) -> r.Server.Sched.freshness <> None)
+          results));
+  let total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 rep.Churn.Runtime.verdicts
+  in
+  check int_t "verdict histogram covers all queries" (List.length results) total
+
+let test_runtime_starved_budget_degrades_not_fails () =
+  let cfg = runtime_config ~budget:0.5 ~max_age:10 () in
+  let rep = run_runtime ~cfg ~wseed:7 ~n:16 () in
+  (* the answers still arrive; freshness checks get denied instead *)
+  check int_t "all queries answered" 16
+    (List.length rep.Churn.Runtime.sched.Server.Sched.results);
+  check bool_t "denials recorded" true (rep.Churn.Runtime.budget_denied > 0)
+
+let test_runtime_incremental_beats_full_refresh () =
+  (* a small site and a long, tight run: the policies must actually
+     get to act (ages crossing max_age; the full-refresh bucket
+     accruing a whole recrawl several times) before being compared *)
+  let run policy =
+    let uni =
+      Sitegen.University.build
+        ~config:
+          {
+            Sitegen.University.default_config with
+            Sitegen.University.n_depts = 2;
+            n_profs = 6;
+            n_courses = 10;
+            n_sessions = 2;
+          }
+        ()
+    in
+    let http = Websim.Http.connect (Sitegen.University.site uni) in
+    let cfg =
+      Churn.Runtime.config ~profile:Churn.Profile.high ~churn_seed:5
+        ~sla:(Churn.Sla.create ~default_max_age:6 ())
+        ~budget_per_turn:8.0 ~policy ()
+    in
+    let workload = Server.Workload.generate ~seed:7 ~n:96 () in
+    Churn.Runtime.run
+      ~sched:(Server.Sched.config ~concurrency:4 ~quantum:1 ())
+      cfg schema (stats_of http) registry http workload
+  in
+  let inc = run Churn.Runtime.Incremental in
+  let full = run Churn.Runtime.Full_refresh in
+  check bool_t "full-refresh passes actually ran" true
+    (full.Churn.Runtime.full_refreshes > 0);
+  check bool_t
+    (Fmt.str "incremental staleness (%.2f) strictly below full-refresh (%.2f)"
+       inc.Churn.Runtime.mean_staleness full.Churn.Runtime.mean_staleness)
+    true
+    (inc.Churn.Runtime.mean_staleness < full.Churn.Runtime.mean_staleness)
+
+let test_runtime_sweep_drains_backlog () =
+  let profile =
+    Churn.Profile.make ~rate:0.5 ~tombstone_rate:0.4 ~insert_rate:0.0 ()
+  in
+  let cfg = runtime_config ~profile ~max_age:10 () in
+  let rep = run_runtime ~cfg ~wseed:7 ~n:24 () in
+  let m = rep.Churn.Runtime.maintenance in
+  check bool_t "deletions were discovered" true (m.Churn.Maintain.gone > 0);
+  check bool_t "and the sweep processed the backlog" true (m.Churn.Maintain.swept > 0)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: rate 0 == frozen snapshot, across seeds and domain counts   *)
+(* ------------------------------------------------------------------ *)
+
+let digest_rows rows =
+  (* order-sensitive structural digest over every row and value *)
+  Adm.Relation.to_seq rows
+  |> Seq.fold_left
+       (fun acc row ->
+         Array.fold_left
+           (fun acc v -> (acc * 1000003) lxor Adm.Value.hash v)
+           ((acc * 1000003) lxor Array.length row)
+           row)
+       (Adm.Relation.cardinality rows)
+
+let digest_results (rep : Churn.Runtime.report) =
+  List.map
+    (fun (r : Server.Sched.result) ->
+      (r.Server.Sched.qid, Adm.Relation.cardinality r.Server.Sched.rows,
+       digest_rows r.Server.Sched.rows))
+    rep.Churn.Runtime.sched.Server.Sched.results
+
+let prop_rate_zero_is_frozen =
+  QCheck.Test.make ~name:"churn rate 0 == no-churn run (seeds 7/21/42, 1 vs 4 domains)"
+    ~count:6
+    QCheck.(pair (Gen.oneofl [ 7; 21; 42 ] |> make) (Gen.oneofl [ 1; 4 ] |> make))
+    (fun (wseed, domains) ->
+      let sched = Server.Sched.config ~domains () in
+      let churn_run policy profile =
+        let cfg =
+          Churn.Runtime.config ~profile ~churn_seed:wseed
+            ~sla:(Churn.Sla.create ~default_max_age:20 ())
+            ~budget_per_turn:1000.0 ~policy ()
+        in
+        run_runtime ~sched ~cfg ~wseed ~n:12 ()
+      in
+      let live = churn_run Churn.Runtime.Incremental (Churn.Profile.make ~rate:0.0 ()) in
+      let frozen = churn_run Churn.Runtime.No_maintenance Churn.Profile.zero in
+      let one_domain =
+        if domains = 1 then live
+        else
+          let cfg =
+            Churn.Runtime.config ~profile:(Churn.Profile.make ~rate:0.0 ())
+              ~churn_seed:wseed
+              ~sla:(Churn.Sla.create ~default_max_age:20 ())
+              ~budget_per_turn:1000.0 ~policy:Churn.Runtime.Incremental ()
+          in
+          run_runtime ~sched:(Server.Sched.config ~domains:1 ()) ~cfg ~wseed ~n:12 ()
+      in
+      live.Churn.Runtime.mutations_total = 0
+      && live.Churn.Runtime.maintenance.Churn.Maintain.gets_refreshed = 0
+      && live.Churn.Runtime.violations = 0
+      && digest_results live = digest_results frozen
+      && digest_results live = digest_results one_domain)
+
+let suite =
+  ( "churn",
+    [
+      Alcotest.test_case "site: delete is a definitive 404" `Quick test_delete_is_definitive_404;
+      Alcotest.test_case "site: delete purged on sweep" `Quick test_delete_purged_on_sweep;
+      Alcotest.test_case "site: touch observed by URLCheck" `Quick test_touch_observed_by_urlcheck;
+      Alcotest.test_case "site: insert discoverable by re-crawl" `Quick
+        test_insert_discoverable_by_recrawl;
+      Alcotest.test_case "fetcher: revalidating cache sees a touch" `Quick
+        test_revalidating_cache_sees_touch;
+      Alcotest.test_case "fetcher: negative cache clears on re-insert" `Quick
+        test_negative_cache_clears_on_reinsert;
+      Alcotest.test_case "fetcher: matview over caching fetcher coherent" `Quick
+        test_matview_over_caching_fetcher_is_coherent;
+      Alcotest.test_case "traffic: deterministic from seed" `Quick test_traffic_deterministic;
+      Alcotest.test_case "traffic: rate 0 only ticks" `Quick test_traffic_rate_zero_only_ticks;
+      Alcotest.test_case "traffic: entry points protected" `Quick
+        test_traffic_protects_entry_points;
+      Alcotest.test_case "traffic: inserts resurrect tombstones" `Quick
+        test_traffic_insert_resurrects;
+      Alcotest.test_case "budget: admit/deny/overdraft" `Quick test_budget_accounting;
+      Alcotest.test_case "runtime: generous budget, zero violations" `Quick
+        test_runtime_generous_budget_no_violations;
+      Alcotest.test_case "runtime: freshness threaded through Sched" `Quick
+        test_runtime_freshness_threaded_through_sched;
+      Alcotest.test_case "runtime: starved budget degrades gracefully" `Quick
+        test_runtime_starved_budget_degrades_not_fails;
+      Alcotest.test_case "runtime: incremental beats full refresh" `Quick
+        test_runtime_incremental_beats_full_refresh;
+      Alcotest.test_case "runtime: sweep drains the backlog" `Quick
+        test_runtime_sweep_drains_backlog;
+      QCheck_alcotest.to_alcotest prop_rate_zero_is_frozen;
+    ] )
