@@ -1,4 +1,4 @@
-.PHONY: build test check analyze ci bench bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-churn bench-all examples clean
+.PHONY: build test check analyze ci bench bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-churn bench-views bench-all examples clean
 
 build:
 	dune build @all
@@ -109,7 +109,19 @@ bench-analyze:
 bench-churn:
 	dune exec bench/main.exe -- churn
 
-bench-all: bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-churn
+# Views-as-access-paths benchmark: the same query planned and executed
+# with and without registered views offered to the cost model — wire
+# economics (HEAD=1 vs GET=10) on the three sites with byte-identity
+# checks, the stale-view rejection case, and planning time vs registry
+# size 10/100/500 with filter-tree vs naive view-match check counts.
+# Writes BENCH_views.json in the current directory; commit it so the
+# trajectory is tracked across PRs. Exits nonzero if no view win
+# exists, results diverge, a stale view is chosen, or planning at 500
+# views exceeds 2x the 10-view time.
+bench-views:
+	dune exec bench/main.exe -- views
+
+bench-all: bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-churn bench-views
 
 # The CI entry point: ./ci.sh (strict gate + full test suite under the
 # ci dune profile).

@@ -1768,6 +1768,244 @@ let churn_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* bench-views: views as cost-chosen access paths                      *)
+(*                                                                     *)
+(* 1. Wire economics on the three sites: the same query planned and    *)
+(*    executed both ways — pure navigation vs with registered views    *)
+(*    offered as access paths over a freshly materialized store. The   *)
+(*    cost model must *choose* the view where it wins, results must    *)
+(*    stay byte-identical, and the GET-weighted wire cost (Function 2: *)
+(*    HEAD = 1, GET = 10) must drop. Plus the stale half of the race:  *)
+(*    after aging the store over schemes observed to churn, the view   *)
+(*    must lose until revalidated.                                     *)
+(* 2. Planning time vs registry size 10/100/500: selection-variant     *)
+(*    views bucket away from the query's occurrences in the filter     *)
+(*    tree, so view matching — and planning time — stays flat while a  *)
+(*    naive pairwise matcher grows linearly in registry size.          *)
+(* Results go to stdout and BENCH_views.json; exits nonzero when an    *)
+(* acceptance condition fails.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let views_bench () =
+  banner "bench-views  Views as access paths: wire economics and planning scale";
+  let wire_units gets heads = (10 * gets) + heads in
+  let sorted_rows rel = List.sort compare (Adm.Relation.rows_arrays rel) in
+  (* --- wire economics: both ways on one site ----------------------- *)
+  let views_case name site_schema site_registry site sql =
+    let http = Websim.Http.connect site in
+    let stats = Stats.of_instance (Websim.Crawler.crawl site_schema http) in
+    let store_http = Websim.Http.connect site in
+    let store = Matview.materialize site_schema store_http in
+    let vs = Viewstore.create site_schema site_registry store in
+    let s0 = Websim.Http.stats store_http in
+    let g0 = s0.Websim.Http.gets and h0 = s0.Websim.Http.heads in
+    let nav_http = Websim.Http.connect site in
+    let _, nav_rel =
+      Planner.run site_schema stats site_registry
+        (Eval.live_source site_schema nav_http) sql
+    in
+    let nav = Websim.Http.stats nav_http in
+    let v_http = Websim.Http.connect site in
+    let view_outcome, view_rel =
+      Planner.run
+        ~views:(Viewstore.context vs)
+        ~exec_views:(Viewstore.answerer vs)
+        site_schema stats site_registry
+        (Eval.live_source site_schema v_http) sql
+    in
+    let v = Websim.Http.stats v_http in
+    let s1 = Websim.Http.stats store_http in
+    let view_gets = v.Websim.Http.gets + (s1.Websim.Http.gets - g0) in
+    let view_heads = v.Websim.Http.heads + (s1.Websim.Http.heads - h0) in
+    let identical =
+      Adm.Relation.attrs nav_rel = Adm.Relation.attrs view_rel
+      && sorted_rows nav_rel = sorted_rows view_rel
+    in
+    ( name, sql,
+      view_outcome.Planner.view_used <> [],
+      nav.Websim.Http.gets, nav.Websim.Http.heads,
+      view_gets, view_heads, identical )
+  in
+  let bib_registry = View.auto_registry Sitegen.Bibliography.schema in
+  let bib_rel = List.hd bib_registry in
+  let wire =
+    [
+      views_case "university" Sitegen.University.schema Sitegen.University.view
+        (Sitegen.University.site (Sitegen.University.build ()))
+        "SELECT p.PName, p.Email FROM Professor p";
+      views_case "catalog" Sitegen.Catalog.schema Sitegen.Catalog.view
+        (Sitegen.Catalog.site (Sitegen.Catalog.build ()))
+        "SELECT p.PName, p.Price FROM Product p";
+      views_case "bibliography" Sitegen.Bibliography.schema bib_registry
+        (Sitegen.Bibliography.site (Sitegen.Bibliography.build ()))
+        (Fmt.str "SELECT x.%s FROM %s x"
+           (List.hd bib_rel.View.rel_attrs)
+           bib_rel.View.rel_name);
+    ]
+  in
+  print_table
+    [ "site"; "view chosen"; "nav GETs"; "view GETs"; "view HEADs";
+      "nav units"; "view units"; "identical" ]
+    (List.map
+       (fun (name, _, chosen, ng, nh, vg, vh, identical) ->
+         [
+           name; (if chosen then "yes" else "NO");
+           string_of_int ng; string_of_int vg; string_of_int vh;
+           string_of_int (wire_units ng nh); string_of_int (wire_units vg vh);
+           (if identical then "yes" else "NO");
+         ])
+       wire);
+  (* --- the stale half: churny schemes price the view out ------------ *)
+  let schema = Sitegen.University.schema in
+  let registry = Sitegen.University.view in
+  let stale_rejected =
+    let uni = Sitegen.University.build () in
+    let site = Sitegen.University.site uni in
+    let http = Websim.Http.connect site in
+    let stats = Stats.of_instance (Websim.Crawler.crawl schema http) in
+    let store = Matview.materialize schema (Websim.Http.connect site) in
+    let vs = Viewstore.create schema registry store in
+    Websim.Site.tick site;
+    List.iter
+      (fun scheme ->
+        for _ = 1 to 20 do
+          Viewstore.observe vs scheme ~changed:true
+        done)
+      [ "DeptListPage"; "DeptPage"; "ProfPage" ];
+    let outcome =
+      Planner.plan_sql ~views:(Viewstore.context vs) schema stats registry
+        "SELECT p.PName, p.Email FROM Professor p"
+    in
+    outcome.Planner.view_used = []
+  in
+  Fmt.pr "@.stale store over churny schemes: view %s@."
+    (if stale_rejected then "correctly rejected" else "WRONGLY CHOSEN");
+  (* --- planning time vs registry size ------------------------------- *)
+  let ms f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  (* [n] selection-variant views over the university navigations, each
+     constrained by a constant unique to the view: real registry bulk
+     that subsumes nothing the workload names, so the filter tree's
+     predicate-signature level prunes it before any semantic check *)
+  let stress_views n =
+    let bases = Sitegen.University.view in
+    List.init n (fun i ->
+        let base = List.nth bases (i mod List.length bases) in
+        let nav = List.hd base.View.navigations in
+        let _, plan_attr = List.hd nav.View.bindings in
+        View.relation
+          ~name:(Fmt.str "SV%03d" i)
+          ~attrs:base.View.rel_attrs
+          ~navigations:
+            [
+              View.navigation ~bindings:nav.View.bindings
+                (Nalg.select
+                   [ Pred.eq_const plan_attr (Adm.Value.text (Fmt.str "sv-%d" i)) ]
+                   nav.View.nav_expr);
+            ]
+          ())
+  in
+  let uni = Sitegen.University.build () in
+  let site = Sitegen.University.site uni in
+  let stats = Stats.of_instance (Websim.Crawler.crawl schema (Websim.Http.connect site)) in
+  let store = Matview.materialize schema (Websim.Http.connect site) in
+  let plan_scale =
+    List.map
+      (fun n ->
+        let full = registry @ stress_views (n - List.length registry) in
+        let vs = Viewstore.create schema full store in
+        let q = Sql_parser.parse full sql_72 in
+        let plan_once () =
+          Planner.enumerate ~views:(Viewstore.context vs) schema stats full q
+        in
+        ignore (plan_once ());
+        (* min of 5: wall-clock noise hurts the flatness ratio, not
+           the workload *)
+        let best = ref infinity in
+        for _ = 1 to 5 do
+          let _, t = ms plan_once in
+          if t < !best then best := t
+        done;
+        let index = Viewstore.index vs in
+        let probes =
+          List.map (fun (s : Conjunctive.source) -> s.Conjunctive.rel)
+            q.Conjunctive.from
+          |> List.sort_uniq String.compare
+          |> List.filter_map (View.find full)
+        in
+        let tree_checks =
+          List.fold_left
+            (fun acc p -> acc + List.length (Viewmatch.candidates index p))
+            0 probes
+        in
+        let naive_checks = List.length probes * (List.length full - 1) in
+        (n, !best, tree_checks, naive_checks))
+      [ 10; 100; 500 ]
+  in
+  print_table
+    [ "views"; "plan ms"; "tree checks"; "naive checks" ]
+    (List.map
+       (fun (n, t, tc, nc) ->
+         [ string_of_int n; Fmt.str "%.2f" t; string_of_int tc;
+           string_of_int nc ])
+       plan_scale);
+  let time_of n =
+    let _, t, _, _ = List.find (fun (m, _, _, _) -> m = n) plan_scale in
+    t
+  in
+  let ratio = time_of 500 /. time_of 10 in
+  let within_2x = ratio <= 2.0 in
+  Fmt.pr "@.planning time 500 vs 10 views: %.2fx (%s)@." ratio
+    (if within_2x then "within 2x, filter tree engaged" else "OVER 2x");
+  (* --- JSON + acceptance -------------------------------------------- *)
+  let wire_win =
+    List.exists
+      (fun (_, _, chosen, ng, nh, vg, vh, identical) ->
+        chosen && identical && wire_units vg vh < wire_units ng nh)
+      wire
+  in
+  let all_identical =
+    List.for_all (fun (_, _, _, _, _, _, _, i) -> i) wire
+  in
+  let oc = open_out "BENCH_views.json" in
+  Printf.fprintf oc
+    "{\n  \"suite\": \"views\",\n  \"head_cost\": 1, \"get_cost\": 10,\n  \"wire\": [\n";
+  List.iteri
+    (fun i (name, sql, chosen, ng, nh, vg, vh, identical) ->
+      Printf.fprintf oc
+        "    { \"site\": %S, \"sql\": %S, \"view_chosen\": %b, \
+         \"identical\": %b,\n\
+        \      \"navigation\": { \"gets\": %d, \"heads\": %d, \"units\": %d },\n\
+        \      \"view\": { \"gets\": %d, \"heads\": %d, \"units\": %d } }%s\n"
+        name sql chosen identical ng nh (wire_units ng nh) vg vh
+        (wire_units vg vh)
+        (if i = List.length wire - 1 then "" else ","))
+    wire;
+  Printf.fprintf oc
+    "  ],\n  \"stale_view_rejected\": %b,\n  \"planning\": [\n" stale_rejected;
+  List.iteri
+    (fun i (n, t, tc, nc) ->
+      Printf.fprintf oc
+        "    { \"views\": %d, \"plan_ms\": %.2f, \"tree_checks\": %d, \
+         \"naive_checks\": %d }%s\n"
+        n t tc nc
+        (if i = List.length plan_scale - 1 then "" else ","))
+    plan_scale;
+  Printf.fprintf oc
+    "  ],\n  \"planning_ratio_500_over_10\": %.3f, \"within_2x\": %b\n}\n"
+    ratio within_2x;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_views.json (%d sites, %d registry sizes)@."
+    (List.length wire) (List.length plan_scale);
+  if not (wire_win && all_identical && stale_rejected && within_2x) then begin
+    Fmt.epr "bench-views acceptance FAILED@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1793,13 +2031,14 @@ let () =
   | [ "server" ] -> server_bench ()
   | [ "analyze" ] -> analyze_bench ()
   | [ "churn" ] -> churn_bench ()
+  | [ "views" ] -> views_bench ()
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
         | Some f -> f ()
         | None ->
-          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel, fetch, exec, server, analyze, churn)@." name
+          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel, fetch, exec, server, analyze, churn, views)@." name
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names

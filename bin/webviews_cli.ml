@@ -72,6 +72,13 @@ let stats_of loaded =
   let http = Websim.Http.connect loaded.site in
   Stats.of_instance (Websim.Crawler.crawl loaded.schema http)
 
+(* Materialize the site (own connection) and put the registered views
+   behind a view store, so the planner can price them as access
+   paths. *)
+let viewstore_of loaded =
+  Viewstore.create loaded.schema loaded.registry
+    (Matview.materialize loaded.schema (Websim.Http.connect loaded.site))
+
 (* ------------------------------------------------------------------ *)
 (* Common options                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -114,6 +121,13 @@ let cap_arg =
          ~doc:"Override the planner's per-phase plan-space caps (join 1500, \
                selection/projection 400). Hitting a cap is reported as a \
                $(b,W0401) diagnostic.")
+
+let views_arg =
+  Arg.(value & flag & info [ "views" ]
+         ~doc:"Materialize the site's registered views first and offer them \
+               to the planner as cost-priced access paths (HEAD=1 vs GET=10 \
+               light-connection economics); a chosen substitution is \
+               reported with its residual predicate and HEAD/GET split.")
 
 let with_site f site depts profs courses seed =
   f (load site ~depts ~profs ~courses ~seed)
@@ -187,13 +201,19 @@ let plan_cmd =
           $ dot_arg $ sql_arg)
 
 let explain_cmd =
-  let run cap physical window sql loaded =
+  let run cap physical window use_views sql loaded =
     let stats = stats_of loaded in
-    let outcome = Planner.plan_sql ?cap loaded.schema stats loaded.registry sql in
+    let vs = if use_views then Some (viewstore_of loaded) else None in
+    let econ = Option.map Viewstore.econ vs in
+    let outcome =
+      Planner.plan_sql ?cap
+        ?views:(Option.map Viewstore.context vs)
+        loaded.schema stats loaded.registry sql
+    in
     let best = outcome.Planner.best.Planner.expr in
     Fmt.pr "%a@.@." Explain.pp_outcome outcome;
     if physical then begin
-      match Cost.lower ~window loaded.schema stats best with
+      match Cost.lower ?views:econ ~window loaded.schema stats best with
       | plan ->
         List.iter
           (fun d -> Fmt.pr "%a@." Diagnostic.pp d)
@@ -204,12 +224,16 @@ let explain_cmd =
         let config = Websim.Fetcher.config ~window () in
         let fetcher = Websim.Fetcher.create ~config http in
         let source = Eval.fetcher_source loaded.schema fetcher in
-        let _result, metrics = Exec.run_metrics loaded.schema source plan in
+        let _result, metrics =
+          Exec.run_metrics
+            ?views:(Option.map Viewstore.answerer vs)
+            loaded.schema source plan
+        in
         Fmt.pr "%a@." (Explain.pp_physical ~metrics ()) plan
       | exception Physplan.Not_streamable msg ->
         Fmt.pr "no streaming physical form (%s); the legacy evaluator would run@." msg
     end
-    else Fmt.pr "%a@." (Explain.pp_annotated loaded.schema stats) best
+    else Fmt.pr "%a@." (Explain.pp_annotated ?views:econ loaded.schema stats) best
   in
   let physical_arg =
     Arg.(value & flag & info [ "physical" ]
@@ -227,30 +251,49 @@ let explain_cmd =
          "Explain the optimizer's chosen plan: the annotated logical tree by \
           default, or with $(b,--physical) the lowered physical operator tree \
           (fused filters, hash-join build sides, streaming navigations) with \
-          per-operator estimated vs actual counters.")
-    Term.(const (fun site depts profs courses seed cap physical window sql ->
-              with_site (run cap physical window sql) site depts profs courses seed)
+          per-operator estimated vs actual counters. With $(b,--views) \
+          registered views compete as access paths and any substitution in \
+          the winning plan is reported.")
+    Term.(const (fun site depts profs courses seed cap physical window use_views sql ->
+              with_site (run cap physical window use_views sql) site depts profs
+                courses seed)
           $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg
-          $ physical_arg $ window_arg $ sql_arg)
+          $ physical_arg $ window_arg $ views_arg $ sql_arg)
 
 let query_cmd =
-  let run cap sql loaded =
+  let run cap use_views sql loaded =
     let stats = stats_of loaded in
+    let vs = if use_views then Some (viewstore_of loaded) else None in
     let http = Websim.Http.connect loaded.site in
     let source = Eval.live_source loaded.schema http in
     let outcome, result =
-      Planner.run ?cap loaded.schema stats loaded.registry source sql
+      Planner.run ?cap
+        ?views:(Option.map Viewstore.context vs)
+        ?exec_views:(Option.map Viewstore.answerer vs)
+        loaded.schema stats loaded.registry source sql
     in
+    Fmt.pr "%a@." Explain.pp_outcome outcome;
     Fmt.pr "plan (cost %.2f):@.%a@.@." outcome.Planner.best.Planner.cost Nalg.pp_plan
       outcome.Planner.best.Planner.expr;
     Fmt.pr "%a@.@." Adm.Relation.pp result;
-    Fmt.pr "network: %a@." Websim.Http.pp_stats (Websim.Http.stats http)
+    Fmt.pr "network: %a@." Websim.Http.pp_stats (Websim.Http.stats http);
+    Option.iter
+      (fun vs ->
+        let store_http = Matview.fetcher (Viewstore.store vs) |> Websim.Fetcher.http in
+        Fmt.pr "view store: %a@." Websim.Http.pp_stats (Websim.Http.stats store_http))
+      vs
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"Plan and execute a SQL query over the site's relational view.")
-    Term.(const (fun site depts profs courses seed cap sql ->
-              with_site (run cap sql) site depts profs courses seed)
-          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg $ sql_arg)
+    (Cmd.info "query"
+       ~doc:
+         "Plan and execute a SQL query over the site's relational view. With \
+          $(b,--views) the registered views are materialized first and \
+          compete as access paths; a chosen view scan answers from the local \
+          store after bounded HEAD revalidation.")
+    Term.(const (fun site depts profs courses seed cap use_views sql ->
+              with_site (run cap use_views sql) site depts profs courses seed)
+          $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg
+          $ views_arg $ sql_arg)
 
 let run_cmd =
   let run faults latency window retries net_seed cap limit sql loaded =
@@ -491,26 +534,29 @@ let json_of_diag (d : Diagnostic.t) =
     (json_escape d.Diagnostic.message)
 
 let analyze_cmd =
-  let run cap strict format sqls loaded =
+  let run cap strict format use_views sqls loaded =
     let json = format = "json" in
     let index = Viewmatch.make loaded.registry in
     let registry_diags = Diagnostic.dedup (Viewmatch.registry_lint index) in
     let stats = lazy (stats_of loaded) in
+    let vs = if use_views then Some (viewstore_of loaded) else None in
     (* per query: lint, minimize, semantic findings, then plan the
-       minimized query to report candidate dedup *)
+       minimized query to report candidate dedup (with --views, view
+       access paths compete and substitutions are reported) *)
     let reports =
       List.map
         (fun sql ->
           let lint = Typecheck.lint_sql loaded.schema loaded.registry sql in
           if Diagnostic.has_errors lint || loaded.registry = [] then
-            (sql, None, Diagnostic.dedup lint, None)
+            (sql, [], None, Diagnostic.dedup lint, None)
           else
             let q = Sql_parser.parse loaded.registry sql in
             let q_min, semantic = Contain.analyze_query loaded.registry q in
             let planned =
               match
-                Planner.plan_sql ?cap loaded.schema (Lazy.force stats)
-                  loaded.registry sql
+                Planner.plan_sql ?cap
+                  ?views:(Option.map Viewstore.context vs)
+                  loaded.schema (Lazy.force stats) loaded.registry sql
               with
               | outcome -> Some outcome
               | exception Invalid_argument _ -> None
@@ -518,16 +564,28 @@ let analyze_cmd =
             let sources_before = List.length q.Conjunctive.from in
             let sources_after = List.length q_min.Conjunctive.from in
             ( sql,
+              List.map (fun (s : Conjunctive.source) -> s.Conjunctive.rel)
+                q.Conjunctive.from,
               Some (q_min, sources_before, sources_after),
               Diagnostic.dedup (lint @ semantic),
               planned ))
         sqls
     in
+    (* dead-view lint: registered views no workload occurrence can
+       ever use — not named, and sharing no filter-tree bucket with
+       any named occurrence *)
+    let workload_diags =
+      List.concat_map (fun (_, occs, _, _, _) -> occs) reports
+      |> List.sort_uniq String.compare
+      |> List.filter_map (View.find loaded.registry)
+      |> Viewmatch.workload_lint index
+    in
     let all =
-      registry_diags @ List.concat_map (fun (_, _, ds, _) -> ds) reports
+      registry_diags @ workload_diags
+      @ List.concat_map (fun (_, _, _, ds, _) -> ds) reports
     in
     if json then begin
-      let query_json (sql, min_info, ds, planned) =
+      let query_json (sql, _, min_info, ds, planned) =
         let minimized =
           match min_info with
           | None -> ""
@@ -540,18 +598,33 @@ let analyze_cmd =
           match planned with
           | None -> ""
           | Some (o : Planner.outcome) ->
-            Fmt.str ",\"candidates\":%d,\"merged\":%d,\"best_cost\":%.2f"
+            let subs =
+              List.map
+                (fun (s : Planner.substitution) ->
+                  Fmt.str
+                    "{\"view\":\"%s\",\"occurrence\":\"%s\",\"residual\":\"%s\",\
+                     \"heads\":%.1f,\"gets\":%.1f}"
+                    (json_escape s.Planner.sub_view)
+                    (json_escape s.Planner.sub_alias)
+                    (json_escape (Pred.to_string s.Planner.sub_residual))
+                    s.Planner.sub_heads s.Planner.sub_gets)
+                o.Planner.view_used
+            in
+            Fmt.str
+              ",\"candidates\":%d,\"merged\":%d,\"best_cost\":%.2f,\"substitutions\":[%s]"
               (List.length o.Planner.candidates)
               o.Planner.merged o.Planner.best.Planner.cost
+              (String.concat "," subs)
         in
         Fmt.str "{\"sql\":\"%s\"%s%s,\"diagnostics\":[%s]}" (json_escape sql)
           minimized plan_part
           (String.concat "," (List.map json_of_diag ds))
       in
       Fmt.pr
-        "{\"views\":%d,\"view_buckets\":%d,\"registry_diagnostics\":[%s],\"queries\":[%s],\"errors\":%d,\"warnings\":%d}@."
+        "{\"views\":%d,\"view_buckets\":%d,\"registry_diagnostics\":[%s],\"workload_diagnostics\":[%s],\"queries\":[%s],\"errors\":%d,\"warnings\":%d}@."
         (Viewmatch.size index) (Viewmatch.buckets index)
         (String.concat "," (List.map json_of_diag registry_diags))
+        (String.concat "," (List.map json_of_diag workload_diags))
         (String.concat "," (List.map query_json reports))
         (List.length (Diagnostic.errors all))
         (List.length (Diagnostic.warnings all))
@@ -560,8 +633,9 @@ let analyze_cmd =
       Fmt.pr "view registry: %d views in %d filter-tree buckets@."
         (Viewmatch.size index) (Viewmatch.buckets index);
       List.iter (fun d -> Fmt.pr "  %a@." Diagnostic.pp d) registry_diags;
+      List.iter (fun d -> Fmt.pr "  %a@." Diagnostic.pp d) workload_diags;
       List.iter
-        (fun (sql, min_info, ds, planned) ->
+        (fun (sql, _, min_info, ds, planned) ->
           Fmt.pr "@.query %S@." sql;
           (match min_info with
           | Some (q_min, before, after) when after < before ->
@@ -572,7 +646,13 @@ let analyze_cmd =
           | Some (o : Planner.outcome) ->
             Fmt.pr "  %d candidate plan(s), %d merged as equivalent, best cost %.2f@."
               (List.length o.Planner.candidates)
-              o.Planner.merged o.Planner.best.Planner.cost
+              o.Planner.merged o.Planner.best.Planner.cost;
+            List.iter
+              (fun (s : Planner.substitution) ->
+                Fmt.pr "  occurrence %s answered from view %s (≈%.1f HEAD, ≈%.1f GET)@."
+                  s.Planner.sub_alias s.Planner.sub_view s.Planner.sub_heads
+                  s.Planner.sub_gets)
+              o.Planner.view_used
           | None -> ());
           match ds with
           | [] -> Fmt.pr "  ok@."
@@ -598,15 +678,20 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Run the semantic query analyzer: view-subsumption lint over the \
-          registry (via the filter-tree index), then per query satisfiability \
-          ($(b,E0601)), redundant-occurrence minimization ($(b,W0602)), \
-          trivial answerability ($(b,W0604)), and the planner's \
-          equivalence-keyed candidate deduplication. Exits 2 on any error, \
-          1 with $(b,--strict) when only warnings remain, else 0.")
-    Term.(const (fun site depts profs courses seed cap strict format sqls ->
-              with_site (run cap strict format sqls) site depts profs courses seed)
+          registry (via the filter-tree index), dead-view lint against the \
+          given workload ($(b,W0606): views no query can ever use), then per \
+          query satisfiability ($(b,E0601)), redundant-occurrence \
+          minimization ($(b,W0602)), trivial answerability ($(b,W0604)), and \
+          the planner's equivalence-keyed candidate deduplication. With \
+          $(b,--views) registered views compete as access paths and chosen \
+          substitutions are reported (JSON: per-query \
+          $(b,substitutions)). Exits 2 on any error, 1 with $(b,--strict) \
+          when only warnings remain, else 0.")
+    Term.(const (fun site depts profs courses seed cap strict format use_views sqls ->
+              with_site (run cap strict format use_views sqls) site depts profs
+                courses seed)
           $ site_arg $ depts_arg $ profs_arg $ courses_arg $ seed_arg $ cap_arg
-          $ strict_arg $ format_arg $ sqls_arg)
+          $ strict_arg $ format_arg $ views_arg $ sqls_arg)
 
 (* ------------------------------------------------------------------ *)
 (* churn: the live-churn runtime (mutations + maintenance + SLAs)      *)

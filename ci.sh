@@ -30,4 +30,12 @@ dune exec --profile ci bin/webviews_cli.exe -- churn \
   --max-age 30 --queries 24 --fail-on-violation \
   | tail -n 8
 
+echo "== smoke views: one view-substituted query end to end =="
+dune exec --profile ci bin/webviews_cli.exe -- query --views \
+  "SELECT p.PName, p.Email FROM Professor p" \
+  | tee /tmp/ci_views_smoke.$$ | head -n 4
+grep -q "view Professor" /tmp/ci_views_smoke.$$ \
+  || { echo "view substitution missing from query --views"; rm -f /tmp/ci_views_smoke.$$; exit 1; }
+rm -f /tmp/ci_views_smoke.$$
+
 echo "== ci: all green =="

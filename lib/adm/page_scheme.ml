@@ -4,7 +4,15 @@
    instance contains a single page. The URL attribute is implicit and
    always present; it forms a key for the page-scheme. *)
 
-type attr_decl = { name : string; ty : Webtype.t; optional : bool }
+type attr_decl = {
+  name : string;
+  ty : Webtype.t;
+  optional : bool;
+  nonempty : bool;
+      (* list attributes only: the site declares every instance holds at
+         least one element — the integrity constraint that licenses
+         rule 3 (dropping an unneeded unnest cannot lose rows) *)
+}
 
 type t = {
   name : string;
@@ -14,7 +22,8 @@ type t = {
 
 let url_attr = "URL"
 
-let attr ?(optional = false) name ty = { name; ty; optional }
+let attr ?(optional = false) ?(nonempty = false) name ty =
+  { name; ty; optional; nonempty }
 
 let make ?entry_url name (attrs : attr_decl list) =
   List.iter
@@ -67,6 +76,14 @@ let is_optional_path ps path =
     match find_attr ps a with Some d -> d.optional | None -> false)
   | _ -> false
 
+let is_nonempty_path ps path =
+  (* Like optionality, only top-level list attributes carry the
+     declaration. Absent declaration = the list may be empty. *)
+  match path with
+  | [ a ] -> (
+    match find_attr ps a with Some d -> d.nonempty | None -> false)
+  | _ -> false
+
 (* Validate one page tuple against the scheme: implicit URL present,
    every non-optional attribute bound to a value of the right type. *)
 let validate_tuple ps (tuple : Value.tuple) =
@@ -77,7 +94,7 @@ let validate_tuple ps (tuple : Value.tuple) =
   | Some v -> err "URL has type %s" (Value.type_name v)
   | None -> err "missing URL");
   List.iter
-    (fun { name = a; ty; optional } ->
+    (fun { name = a; ty; optional; _ } ->
       match Value.find tuple a with
       | None -> if not optional then err "missing attribute %s" a
       | Some Value.Null -> if not optional then err "null non-optional attribute %s" a
@@ -94,8 +111,11 @@ let validate_tuple ps (tuple : Value.tuple) =
   List.rev !errors
 
 let pp ppf ps =
-  let pp_attr ppf { name = a; ty; optional } =
-    Fmt.pf ppf "%s%s : %a" a (if optional then "?" else "") Webtype.pp ty
+  let pp_attr ppf { name = a; ty; optional; nonempty } =
+    Fmt.pf ppf "%s%s%s : %a" a
+      (if optional then "?" else "")
+      (if nonempty then "+" else "")
+      Webtype.pp ty
   in
   Fmt.pf ppf "@[<v 2>%s(URL%a)%a@]" ps.name
     (Fmt.list (fun ppf a -> Fmt.pf ppf ",@ %a" pp_attr a))

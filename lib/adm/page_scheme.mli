@@ -3,13 +3,21 @@
     key; entry points are page-schemes with a known URL and a
     single-page instance. *)
 
-type attr_decl = { name : string; ty : Webtype.t; optional : bool }
+type attr_decl = {
+  name : string;
+  ty : Webtype.t;
+  optional : bool;
+  nonempty : bool;
+      (** list attributes only: declared integrity constraint that every
+          instance holds at least one element (licenses rule 3) *)
+}
+
 type t
 
 val url_attr : string
 (** ["URL"], the implicit key attribute. *)
 
-val attr : ?optional:bool -> string -> Webtype.t -> attr_decl
+val attr : ?optional:bool -> ?nonempty:bool -> string -> Webtype.t -> attr_decl
 
 val make : ?entry_url:string -> string -> attr_decl list -> t
 (** Raises [Invalid_argument] if an attribute is named [URL]. *)
@@ -27,6 +35,11 @@ val link_paths : t -> (string list * string) list
 
 val list_attrs : t -> string list
 val is_optional_path : t -> string list -> bool
+
+val is_nonempty_path : t -> string list -> bool
+(** Whether the (top-level) list attribute at [path] is declared
+    non-empty. [false] means the list may be empty, so eliminating an
+    unnest over it (rule 3) could add phantom rows and is unsound. *)
 
 val validate_tuple : t -> Value.tuple -> string list
 (** Structural errors of a page tuple against the scheme (empty list =

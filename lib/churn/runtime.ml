@@ -55,6 +55,8 @@ type report = {
   mean_staleness : float;
   p95_staleness : float;
   store_pages : int;
+  views_chosen : (string * int) list;
+      (* registered views the planned workload actually answers from *)
   wire : Websim.Fetcher.report;
 }
 
@@ -86,6 +88,23 @@ let run ?(sched = Server.Sched.default_config) ?pool (cfg : config)
     Maintain.create ~config:cfg.maintain ~sla:cfg.sla ~budget ~costs:cfg.costs
       ~shared:cache store
   in
+  (* Under the incremental policy the registered views over the same
+     store become cost-priced access paths for the workload. A
+     [View_scan]'s revalidation pass draws on the same wire budget as
+     every other freshness check — a HEAD only when the bucket admits
+     one, the GET charged when a change forces it — so view answering
+     cannot out-spend the maintenance lane. The baselines keep their
+     original shape: full-refresh must let the bucket accrue a whole
+     recrawl (view HEADs would drain it), and no-maintenance measures
+     raw decay. *)
+  let vs = Webviews.Viewstore.create schema registry store in
+  if cfg.policy = Incremental then
+    Server.Shared_cache.attach_views cache vs
+      ~answerer:
+        (Webviews.Viewstore.answerer
+           ~admit_head:(fun () -> Budget.admit budget cfg.costs.Budget.head)
+           ~charge_get:(fun () -> Budget.force budget cfg.costs.Budget.get)
+           vs);
   let full_refreshes = ref 0 in
   let now () = Websim.Site.clock site in
   (* oracle truth, report-only: has the live page changed since we
@@ -187,8 +206,14 @@ let run ?(sched = Server.Sched.default_config) ?pool (cfg : config)
     match cfg.policy with
     | No_maintenance -> ()
     | Incremental ->
+      (* Relevance = what resident navigation plans touch, plus the
+         schemes under every view a chosen plan answers from: a page
+         kept fresh there pays off at the next [View_scan], so the
+         maintenance lane learns the planner's choices. *)
       let resident_schemes =
-        List.sort_uniq String.compare (List.concat_map schemes_of resident)
+        List.sort_uniq String.compare
+          (List.concat_map schemes_of resident
+          @ Webviews.Viewstore.relevant_schemes vs)
       in
       Maintain.slice engine ~relevant:(fun scheme -> List.mem scheme resident_schemes)
     | Full_refresh ->
@@ -209,7 +234,19 @@ let run ?(sched = Server.Sched.default_config) ?pool (cfg : config)
       end
   in
   let probe ~qid = Some (Sla.to_freshness (obs_for qid)) in
-  let specs = Server.Sched.plan_workload ?pool schema stats registry workload in
+  let specs =
+    Server.Sched.plan_workload ?pool
+      ?views:
+        (if cfg.policy = Incremental then Some (Webviews.Viewstore.context vs)
+         else None)
+      schema stats registry workload
+  in
+  (* Record which views the chosen plans answer from — the signal the
+     relevance ordering above consumes. *)
+  List.iter
+    (fun (s : Server.Sched.spec) ->
+      Webviews.Viewstore.note_plan vs s.Server.Sched.expr)
+    specs;
   let wire_before = Websim.Fetcher.report fetcher in
   let sched_report =
     Server.Sched.run ~on_turn ~source_for ~probe sched cache schema specs
@@ -256,6 +293,7 @@ let run ?(sched = Server.Sched.default_config) ?pool (cfg : config)
     mean_staleness;
     p95_staleness = Server.Sched.percentile 0.95 per_query_max;
     store_pages = Webviews.Matview.total_pages store;
+    views_chosen = Webviews.Viewstore.chosen_views vs;
     wire;
   }
 
@@ -266,7 +304,7 @@ let pp_report ppf r =
      budget: %.1f units spent, %d denied@,\
      verdicts: %a@,\
      answer staleness: mean %.2f ticks, p95(max) %.1f ticks@,\
-     store: %d pages@]"
+     store: %d pages%a@]"
     Server.Sched.pp_report r.sched (policy_to_string r.policy) r.ticks
     r.mutations_total
     (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, n) ->
@@ -275,3 +313,11 @@ let pp_report ppf r =
     r.budget_denied
     (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (v, n) -> Fmt.pf ppf "%s %d" v n))
     r.verdicts r.mean_staleness r.p95_staleness r.store_pages
+    (fun ppf -> function
+      | [] -> ()
+      | vs ->
+        Fmt.pf ppf "@,views chosen: %a"
+          (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (v, n) ->
+               Fmt.pf ppf "%s x%d" v n))
+          vs)
+    r.views_chosen

@@ -64,6 +64,10 @@ type report = {
           "answer staleness" the bench frontier plots, in site ticks *)
   p95_staleness : float;  (** p95 over per-query max stale age *)
   store_pages : int;  (** store size at the end of the run *)
+  views_chosen : (string * int) list;
+      (** registered views the planned workload answers from, with how
+          many specs chose each — the signal the maintenance lane's
+          relevance ordering consumes *)
   wire : Websim.Fetcher.report;  (** serve-phase wire delta *)
 }
 
@@ -73,9 +77,13 @@ val run :
   Server.Workload.entry list -> report
 (** Materialize the store over [http] (through a fresh cache-less
     shared fetcher — the store is the only freshness layer), plan the
-    workload, then run it under churn. The report's staleness numbers
-    are oracle truth: they compare served entries against the live
-    site's Last-Modified, which only the report (never the queries or
-    the maintenance engine) is allowed to see. *)
+    workload — with the registered views over that store competing as
+    cost-priced access paths ({!Webviews.Viewstore}), their
+    revalidation HEADs and forced GETs drawn from the same wire budget
+    as every other freshness check — then run it under churn. The
+    report's staleness numbers are oracle truth: they compare served
+    entries against the live site's Last-Modified, which only the
+    report (never the queries or the maintenance engine) is allowed to
+    see. *)
 
 val pp_report : report Fmt.t

@@ -14,6 +14,33 @@
 
 type estimate = { cost : float; card : float }
 
+(* ------------------------------------------------------------------ *)
+(* View-scan economics (paper Section 8, Function 2)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A registered materialized view priced as an access path. URLCheck
+   weighs a light connection (HEAD) at 1 against a download (GET) at
+   10, so answering from the store costs, per stale page, one HEAD —
+   plus a full GET with the probability the page actually changed
+   since the access date. Fresh entries cost nothing on the wire. *)
+type view_cost = {
+  view_rows : float; (* estimated rows the scan yields *)
+  view_pages : float; (* pages materialized under the view *)
+  view_stale : float; (* fraction of pages older than max_age, 0..1 *)
+  view_change : float; (* observed per-check change probability, 0..1 *)
+  view_attrs : string list; (* declared attributes, unqualified *)
+}
+
+type view_econ = {
+  head_unit : float; (* HEAD weight relative to GET = 1.0 (Function 2: 0.1) *)
+  view : string -> view_cost option;
+}
+
+let no_views = { head_unit = 0.1; view = (fun _ -> None) }
+
+let view_scan_cost (econ : view_econ) (vc : view_cost) =
+  vc.view_pages *. vc.view_stale *. (econ.head_unit +. vc.view_change)
+
 let attr_path (e : Nalg.expr) attr =
   match Nalg.constraint_path_of_attr e attr with
   | Some (path, _alias) -> Some path
@@ -63,10 +90,14 @@ let join_selectivity stats root keys =
       acc /. float_of_int (max 1 (max ca cb)))
     1.0 keys
 
-let rec estimate (schema : Adm.Schema.t) (stats : Stats.t) (root : Nalg.expr)
-    (e : Nalg.expr) : estimate =
+let rec estimate ?(views = no_views) (schema : Adm.Schema.t) (stats : Stats.t)
+    (root : Nalg.expr) (e : Nalg.expr) : estimate =
+  let estimate = estimate ~views in
   match e with
-  | Nalg.External _ -> { cost = infinity; card = 0.0 }
+  | Nalg.External { name; _ } -> (
+    match views.view name with
+    | Some vc -> { cost = view_scan_cost views vc; card = vc.view_rows }
+    | None -> { cost = infinity; card = 0.0 })
   | Nalg.Entry { scheme; alias = _ } ->
     let ps = Adm.Schema.find_scheme_exn schema scheme in
     let card =
@@ -113,29 +144,34 @@ let rec estimate (schema : Adm.Schema.t) (stats : Stats.t) (root : Nalg.expr)
     let navigations = distinct_in stats root link card in
     { cost = cost +. navigations; card }
 
-let cost schema stats e = (estimate schema stats e e).cost
-let cardinality schema stats e = (estimate schema stats e e).card
+let cost ?views schema stats e = (estimate ?views schema stats e e).cost
+let cardinality ?views schema stats e = (estimate ?views schema stats e e).card
 
 (* Refined cost (paper, footnote 8): bytes transferred instead of page
    count. Each navigation's access count is weighted by the average
    page size of the target scheme. Distinguishes plans that tie on
    page count — e.g. the intro's path through the (smaller) list of
    database conferences versus the list of all conferences. *)
-let rec byte_estimate (schema : Adm.Schema.t) (stats : Stats.t) (root : Nalg.expr)
-    (e : Nalg.expr) : float =
+let rec byte_estimate ?(views = no_views) (schema : Adm.Schema.t)
+    (stats : Stats.t) (root : Nalg.expr) (e : Nalg.expr) : float =
+  let byte_estimate = byte_estimate ~views in
   match e with
-  | Nalg.External _ -> infinity
+  | Nalg.External { name; _ } -> (
+    match views.view name with
+    (* ~1KiB per GET-equivalent wire unit: a HEAD moves headers only *)
+    | Some vc -> view_scan_cost views vc *. 1024.0
+    | None -> infinity)
   | Nalg.Entry { scheme; alias = _ } -> Stats.page_bytes stats scheme
   | Nalg.Select (_, e1) | Nalg.Project (_, e1) | Nalg.Unnest (e1, _) ->
     byte_estimate schema stats root e1
   | Nalg.Join (_, e1, e2) ->
     byte_estimate schema stats root e1 +. byte_estimate schema stats root e2
   | Nalg.Follow { src; link; scheme; alias = _ } ->
-    let { card; _ } = estimate schema stats root src in
+    let { card; _ } = estimate ~views schema stats root src in
     let navigations = distinct_in stats root link card in
     byte_estimate schema stats root src +. (navigations *. Stats.page_bytes stats scheme)
 
-let byte_cost schema stats e = byte_estimate schema stats e e
+let byte_cost ?views schema stats e = byte_estimate ?views schema stats e e
 
 (* Lowering with cost annotations: the physical plan carries, per
    operator, the estimated output cardinality and the page accesses
@@ -143,17 +179,23 @@ let byte_cost schema stats e = byte_estimate schema stats e e
    of Section 6.2 for a navigation). The [pages] callback computes
    the navigation count directly — not as a cost difference — so the
    annotation matches the worked examples exactly. *)
-let lower ?window (schema : Adm.Schema.t) (stats : Stats.t) (e : Nalg.expr) :
-    Physplan.plan =
-  let card sub = (estimate schema stats e sub).card in
+let lower ?(views = no_views) ?window (schema : Adm.Schema.t) (stats : Stats.t)
+    (e : Nalg.expr) : Physplan.plan =
+  let card sub = (estimate ~views schema stats e sub).card in
   let pages sub =
     match sub with
     | Nalg.Entry _ -> 1.0
     | Nalg.Follow { src; link; _ } ->
-      distinct_in stats e link (estimate schema stats e src).card
+      distinct_in stats e link (estimate ~views schema stats e src).card
+    | Nalg.External { name; _ } -> (
+      (* expected light connections: every stale page costs one HEAD *)
+      match views.view name with
+      | Some vc -> vc.view_pages *. vc.view_stale
+      | None -> 0.0)
     | _ -> 0.0
   in
-  Physplan.lower ~card ~pages ?window schema e
+  let view_attrs name = Option.map (fun vc -> vc.view_attrs) (views.view name) in
+  Physplan.lower ~card ~pages ~view_attrs ?window schema e
 
 (* Predicted simulated elapsed time (milliseconds) under the batched
    fetch engine: a navigation submits its URL set in prefetch windows
@@ -167,29 +209,43 @@ let lower ?window (schema : Adm.Schema.t) (stats : Stats.t) (e : Nalg.expr) :
 let rounds ~window n =
   Float.of_int (int_of_float (Float.ceil (n /. float_of_int (max 1 window))))
 
-let rec elapsed_aux (schema : Adm.Schema.t) (stats : Stats.t) (root : Nalg.expr)
-    ~window ~get_ms (e : Nalg.expr) : float =
+let rec elapsed_aux ~views (schema : Adm.Schema.t) (stats : Stats.t)
+    (root : Nalg.expr) ~window ~get_ms ~head_ms (e : Nalg.expr) : float =
+  let elapsed_aux = elapsed_aux ~views in
   match e with
-  | Nalg.External _ -> infinity
+  | Nalg.External { name; _ } -> (
+    match views.view name with
+    | Some vc ->
+      let heads = vc.view_pages *. vc.view_stale in
+      (rounds ~window heads *. head_ms)
+      +. (heads *. vc.view_change *. get_ms)
+    | None -> infinity)
   | Nalg.Entry _ -> get_ms
   | Nalg.Select (_, e1) | Nalg.Project (_, e1) | Nalg.Unnest (e1, _) ->
-    elapsed_aux schema stats root ~window ~get_ms e1
+    elapsed_aux schema stats root ~window ~get_ms ~head_ms e1
   | Nalg.Join (_, e1, e2) ->
-    elapsed_aux schema stats root ~window ~get_ms e1
-    +. elapsed_aux schema stats root ~window ~get_ms e2
+    elapsed_aux schema stats root ~window ~get_ms ~head_ms e1
+    +. elapsed_aux schema stats root ~window ~get_ms ~head_ms e2
   | Nalg.Follow { src; link; scheme = _; alias = _ } ->
-    let { card; _ } = estimate schema stats root src in
+    let { card; _ } = estimate ~views schema stats root src in
     let navigations = distinct_in stats root link card in
-    elapsed_aux schema stats root ~window ~get_ms src
+    elapsed_aux schema stats root ~window ~get_ms ~head_ms src
     +. (rounds ~window navigations *. get_ms)
 
-let elapsed_estimate ?(window = 1) ?(get_ms = 40.0) schema stats e =
-  match lower ~window schema stats e with
+let elapsed_estimate ?(views = no_views) ?(window = 1) ?(get_ms = 40.0) ?head_ms
+    schema stats e =
+  (* Function-2 ratio: a light connection (HEAD) moves headers only and
+     costs a tenth of a download round, matching Churn.Budget's 1:10. *)
+  let head_ms = match head_ms with Some h -> h | None -> get_ms /. 10.0 in
+  match lower ~views ~window schema stats e with
   | plan ->
     Physplan.fold
       (fun acc (o : Physplan.op) ->
         match o.Physplan.node, o.Physplan.est with
         | Physplan.Scan _, _ -> acc +. get_ms
+        | Physplan.View_scan _, Some { est_pages; _ } ->
+          acc +. (rounds ~window est_pages *. head_ms)
+        | Physplan.View_scan _, None -> acc +. head_ms
         | Physplan.Follow_links _, Some { est_pages; _ } ->
           acc +. (rounds ~window est_pages *. get_ms)
         | Physplan.Follow_links _, None -> acc +. get_ms
@@ -197,4 +253,5 @@ let elapsed_estimate ?(window = 1) ?(get_ms = 40.0) schema stats e =
           | Physplan.Stream_unnest _), _ -> acc)
       0.0 plan
   | exception Physplan.Not_computable _ -> infinity
-  | exception Physplan.Not_streamable _ -> elapsed_aux schema stats e ~window ~get_ms e
+  | exception Physplan.Not_streamable _ ->
+    elapsed_aux ~views schema stats e ~window ~get_ms ~head_ms e

@@ -137,10 +137,15 @@ let truncate limit r =
     Adm.Relation.of_arrays (Adm.Relation.attrs r)
       (take l (Adm.Relation.rows_arrays r))
 
-let eval ?limit (schema : Adm.Schema.t) (source : source) (e : Nalg.expr) :
-    Adm.Relation.t =
-  match Physplan.lower ~window:source.window schema e with
-  | plan -> Exec.run ?limit schema source plan
+let eval ?limit ?views (schema : Adm.Schema.t) (source : source)
+    (e : Nalg.expr) : Adm.Relation.t =
+  let view_attrs =
+    match views with
+    | Some (v : Exec.views) -> v.Exec.view_attrs
+    | None -> fun _ -> None
+  in
+  match Physplan.lower ~view_attrs ~window:source.window schema e with
+  | plan -> Exec.run ?limit ?views schema source plan
   | exception Physplan.Not_streamable _ ->
     truncate limit (eval_legacy schema source e)
 

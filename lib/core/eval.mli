@@ -39,10 +39,14 @@ val pages_relation :
 (** The page relation of a URL set, attributes qualified by [alias].
     URLs whose page is gone are skipped (dangling links tolerated). *)
 
-val eval : ?limit:int -> Adm.Schema.t -> source -> Nalg.expr -> Adm.Relation.t
+val eval :
+  ?limit:int -> ?views:Exec.views -> Adm.Schema.t -> source -> Nalg.expr ->
+  Adm.Relation.t
 (** Lower and run. With [limit], the executor stops pulling (and
     fetching pages) once that many rows are produced — the early-exit
-    protocol. Raises {!Not_computable} on [External] leaves or
+    protocol. [views] lets [External] leaves that name a registered
+    materialized view lower to [View_scan] and answer from the store;
+    without it, raises {!Not_computable} on [External] leaves or
     non-entry-point [Entry] leaves. *)
 
 val eval_legacy : Adm.Schema.t -> source -> Nalg.expr -> Adm.Relation.t

@@ -40,6 +40,25 @@ type source = {
   window : int; (* prefetch window the executor hands to [prefetch] *)
 }
 
+(* A materialized answer for one [View_scan]: the store (through
+   {!Viewstore}) resolves the view with bounded HEAD revalidation and
+   reports the wire work it spent, so the per-query ledger stays
+   truthful even when rows never touch the network. *)
+type view_answer = {
+  va_attrs : string list; (* unqualified column names, row order *)
+  va_rows : Adm.Relation.row array;
+  va_heads : int; (* light connections issued while revalidating *)
+  va_gets : int; (* full downloads forced by observed changes *)
+  va_pages : int; (* stored pages the answer was assembled from *)
+}
+
+type views = {
+  view_attrs : string -> string list option;
+      (* declared attributes of a registered view, for lowering *)
+  answer : view:string -> view_answer option;
+      (* resolve a view scan against the matview store *)
+}
+
 type op_metrics = {
   mutable rows_out : int;
   mutable batches_out : int;
@@ -226,8 +245,8 @@ let combine w1 keep2 row1 row2 =
 (* Compilation to cursors                                              *)
 (* ------------------------------------------------------------------ *)
 
-let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
-    (plan : Physplan.plan) : cursor =
+let compile ?views (schema : Adm.Schema.t) (source : source)
+    (metrics : metrics) (plan : Physplan.plan) : cursor =
   let window = max 1 plan.Physplan.window in
   let instrument (o : Physplan.op) (c : cursor) =
     let m = metrics.ops.(o.Physplan.id) in
@@ -267,6 +286,46 @@ let compile (schema : Adm.Schema.t) (source : source) (metrics : metrics)
             | Some tuple ->
               let row = build tuple in
               if pred row then Some [| row |] else None
+          end
+        in
+        { attrs; next }
+      | Physplan.View_scan { view; alias; ext_attrs; filter } ->
+        let attrs = List.map (fun a -> alias ^ "." ^ a) ext_attrs in
+        let tbl = index_of attrs in
+        let pred = Pred.compile ~offset:(Hashtbl.find_opt tbl) filter in
+        let answer =
+          match views with
+          | Some { answer; _ } -> answer
+          | None ->
+            raise
+              (Physplan.Not_computable
+                 (Fmt.str "view scan of %s: no view store attached" view))
+        in
+        let spent = ref false in
+        let next () =
+          if !spent then None
+          else begin
+            spent := true;
+            match answer ~view with
+            | None ->
+              raise
+                (Physplan.Not_computable
+                   (Fmt.str "view scan of %s: view is not materialized" view))
+            | Some va ->
+              m.pages <- m.pages + va.va_heads + va.va_gets;
+              metrics.state_rows <- metrics.state_rows + Array.length va.va_rows;
+              (* reorder the stored columns into declaration order *)
+              let offs =
+                let vtbl = index_of va.va_attrs in
+                Array.of_list
+                  (List.map (offset_exn "view_scan" va.va_attrs vtbl) ext_attrs)
+              in
+              let reorder row = Array.map (fun i -> row.(i)) offs in
+              let out = afilter_map (fun r -> let r = reorder r in
+                                      if pred r then Some r else None)
+                  va.va_rows
+              in
+              (match out with [||] -> None | _ -> Some out)
           end
         in
         { attrs; next }
@@ -570,10 +629,10 @@ type run = {
 
 type progress = [ `Pulled of int | `Done ]
 
-let start ?limit (schema : Adm.Schema.t) (source : source)
+let start ?limit ?views (schema : Adm.Schema.t) (source : source)
     (plan : Physplan.plan) : run =
   let metrics = fresh_metrics plan in
-  let root = compile schema source metrics plan in
+  let root = compile ?views schema source metrics plan in
   { r_root = root; r_metrics = metrics; r_limit = limit; r_buf = [];
     r_count = 0; r_done = false }
 
@@ -617,11 +676,12 @@ let snapshot (r : run) : Adm.Relation.t =
 (* Running a plan to completion                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_metrics ?limit (schema : Adm.Schema.t) (source : source)
+let run_metrics ?limit ?views (schema : Adm.Schema.t) (source : source)
     (plan : Physplan.plan) : Adm.Relation.t * metrics =
-  let r = start ?limit schema source plan in
+  let r = start ?limit ?views schema source plan in
   let rec drive () = match step r with `Pulled _ -> drive () | `Done -> () in
   drive ();
   (snapshot r, metrics_of r)
 
-let run ?limit schema source plan = fst (run_metrics ?limit schema source plan)
+let run ?limit ?views schema source plan =
+  fst (run_metrics ?limit ?views schema source plan)

@@ -17,6 +17,25 @@ type source = {
   window : int;  (** prefetch window the executor hands to [prefetch] *)
 }
 
+type view_answer = {
+  va_attrs : string list;  (** unqualified column names, row order *)
+  va_rows : Adm.Relation.row array;
+  va_heads : int;  (** light connections issued while revalidating *)
+  va_gets : int;  (** full downloads forced by observed changes *)
+  va_pages : int;  (** stored pages the answer was assembled from *)
+}
+(** A materialized answer for one [View_scan], with the wire work the
+    store spent resolving it (bounded HEAD revalidation, GET only on
+    observed change) — keeps the per-query ledger truthful even when
+    rows never touch the network. *)
+
+type views = {
+  view_attrs : string -> string list option;
+      (** declared attributes of a registered view, for lowering *)
+  answer : view:string -> view_answer option;
+      (** resolve a view scan against the matview store *)
+}
+
 type op_metrics = {
   mutable rows_out : int;
   mutable batches_out : int;
@@ -41,12 +60,16 @@ val peak_resident_rows : metrics -> int
     peak_queue_rows]. *)
 
 val run :
-  ?limit:int -> Adm.Schema.t -> source -> Physplan.plan -> Adm.Relation.t
+  ?limit:int -> ?views:views -> Adm.Schema.t -> source -> Physplan.plan ->
+  Adm.Relation.t
 (** Execute a plan. With [limit], stop pulling (and fetching) once that
-    many rows are produced. *)
+    many rows are produced. [views] resolves [View_scan] operators
+    against a matview store; executing such an operator without it
+    raises {!Physplan.Not_computable}. *)
 
 val run_metrics :
   ?limit:int ->
+  ?views:views ->
   Adm.Schema.t ->
   source ->
   Physplan.plan ->
@@ -67,7 +90,8 @@ type run
 type progress = [ `Pulled of int  (** rows in the batch just pulled *)
                 | `Done ]
 
-val start : ?limit:int -> Adm.Schema.t -> source -> Physplan.plan -> run
+val start :
+  ?limit:int -> ?views:views -> Adm.Schema.t -> source -> Physplan.plan -> run
 (** Compile the plan into a paused run; no rows are pulled yet. *)
 
 val step : run -> progress

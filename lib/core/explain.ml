@@ -2,8 +2,9 @@
    with the cost model's estimates, in the spirit of the paper's
    Figures 2–4. *)
 
-let pp_annotated (schema : Adm.Schema.t) (stats : Stats.t) ppf (root : Nalg.expr) =
-  let est e = Cost.estimate schema stats root e in
+let pp_annotated ?(views = Cost.no_views) (schema : Adm.Schema.t)
+    (stats : Stats.t) ppf (root : Nalg.expr) =
+  let est e = Cost.estimate ~views schema stats root e in
   let rec go indent ppf e =
     let pad = String.make indent ' ' in
     let { Cost.cost; card } = est e in
@@ -13,7 +14,10 @@ let pp_annotated (schema : Adm.Schema.t) (stats : Stats.t) ppf (root : Nalg.expr
       Fmt.pf ppf "%s%s%s%s@," pad scheme
         (if String.equal scheme alias then "" else " as " ^ alias)
         note
-    | Nalg.External { name; _ } -> Fmt.pf ppf "%sext:%s (not computable)@," pad name
+    | Nalg.External { name; _ } -> (
+      match views.Cost.view name with
+      | Some _ -> Fmt.pf ppf "%sview-scan %s%s@," pad name note
+      | None -> Fmt.pf ppf "%sext:%s (not computable)@," pad name)
     | Nalg.Select (p, e1) ->
       Fmt.pf ppf "%sσ %a%s@,%a" pad Pred.pp p note (go (indent + 2)) e1
     | Nalg.Project (attrs, e1) ->
@@ -64,7 +68,7 @@ let pp_physical ?metrics () ppf (plan : Physplan.plan) =
     let pad = String.make indent ' ' in
     Fmt.pf ppf "%s%s%s@," pad (Physplan.node_label o) (note o);
     match o.Physplan.node with
-    | Physplan.Scan _ -> ()
+    | Physplan.Scan _ | Physplan.View_scan _ -> ()
     | Physplan.Filter { input; _ }
     | Physplan.Project { input; _ }
     | Physplan.Stream_unnest { input; _ } -> go (indent + 2) ppf input
@@ -194,15 +198,26 @@ let strategy_name = function
 let best_of_strategy (o : Planner.outcome) s =
   List.find_opt (fun (p : Planner.plan) -> strategy p.Planner.expr = s) o.Planner.candidates
 
-(* One-line summary of a planner outcome. *)
+(* One-line summary of a planner outcome, plus one line per view
+   substitution the winning plan carries. *)
 let pp_outcome ppf (o : Planner.outcome) =
-  Fmt.pf ppf "%d candidate plans, best cost %.2f" (List.length o.Planner.candidates)
+  Fmt.pf ppf "@[<v>%d candidate plans, best cost %.2f"
+    (List.length o.Planner.candidates)
     o.Planner.best.Planner.cost;
   if o.Planner.merged > 0 then
     Fmt.pf ppf " (%d equivalent candidate(s) merged)" o.Planner.merged;
-  match o.Planner.diagnostics with
+  (match o.Planner.diagnostics with
   | [] -> ()
-  | ds -> Fmt.pf ppf " (%s)" (Diagnostic.summary ds)
+  | ds -> Fmt.pf ppf " (%s)" (Diagnostic.summary ds));
+  List.iter
+    (fun (s : Planner.substitution) ->
+      Fmt.pf ppf "@,  occurrence %s ← view %s (≈%.1f HEAD, ≈%.1f GET)%a"
+        s.Planner.sub_alias s.Planner.sub_view s.Planner.sub_heads s.Planner.sub_gets
+        (fun ppf (p : Pred.t) ->
+          if p <> [] then Fmt.pf ppf ", residual σ[%a]" Pred.pp p)
+        s.Planner.sub_residual)
+    o.Planner.view_used;
+  Fmt.pf ppf "@]"
 
 (* Runtime report of an evaluation through the fetch engine: the
    merged cost ledger — page accesses and fetch work in one record. *)

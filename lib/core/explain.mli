@@ -2,8 +2,11 @@
     the spirit of the paper's Figures 2–4, and strategy classification
     for the Section 7 experiments. *)
 
-val pp_annotated : Adm.Schema.t -> Stats.t -> Nalg.expr Fmt.t
-(** The plan tree with per-node cardinality and cost estimates. *)
+val pp_annotated : ?views:Cost.view_econ -> Adm.Schema.t -> Stats.t -> Nalg.expr Fmt.t
+(** The plan tree with per-node cardinality and cost estimates. With
+    [views], an [External] leaf naming a priced materialized view
+    renders as a view scan with its light-connection cost instead of
+    "not computable". *)
 
 val pp_physical : ?metrics:Exec.metrics -> unit -> Physplan.plan Fmt.t
 (** The physical operator tree, each operator annotated with the cost

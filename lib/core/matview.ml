@@ -179,12 +179,12 @@ let iter_entries t f =
    {!url_check} this ignores the per-query status flags (maintenance
    runs between queries, against the shared store) and treats a 404 as
    definitive — the HEAD itself is the sweep. *)
-let revalidate t ~scheme ~url =
+let apply_head t ~scheme ~url head =
   match Hashtbl.find_opt (table t scheme) url with
   | None -> `Unknown
   | Some entry -> (
     t.counters.light_connections <- t.counters.light_connections + 1;
-    match Websim.Fetcher.head t.fetcher url with
+    match head with
     | Websim.Fetcher.Absent ->
       (* same flow as url_check: drop the entry now, defer the
          definitive purge to the CheckMissing sweep *)
@@ -201,6 +201,30 @@ let revalidate t ~scheme ~url =
         Hashtbl.replace (table t scheme) url { entry with access_date = now t };
         `Current
       end)
+
+let revalidate t ~scheme ~url =
+  match Hashtbl.find_opt (table t scheme) url with
+  | None -> `Unknown
+  | Some _ -> apply_head t ~scheme ~url (Websim.Fetcher.head t.fetcher url)
+
+(* The batched form: one windowed HEAD batch through the fetcher (the
+   light-connection latencies overlap), then the same per-entry
+   bookkeeping as {!revalidate}. Keys with nothing stored cost no wire
+   traffic. *)
+let revalidate_batch t (keys : (string * string) list) =
+  let known =
+    List.filter (fun (scheme, url) -> Hashtbl.mem (table t scheme) url) keys
+  in
+  let heads = Websim.Fetcher.head_batch t.fetcher (List.map snd known) in
+  List.map
+    (fun (scheme, url) ->
+      let outcome =
+        match List.assoc_opt url heads with
+        | None -> `Unknown
+        | Some h -> apply_head t ~scheme ~url h
+      in
+      (scheme, url, outcome))
+    known
 
 (* Force-refresh one page regardless of the stored copy: a wire GET
    (the fetcher cache is bypassed), wrap, store. Also how a page not

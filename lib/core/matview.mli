@@ -43,6 +43,9 @@ val url_check : t -> scheme:string -> url:string -> Adm.Value.tuple option
     light connection reports a change; [None] when the page is gone or
     flagged missing. *)
 
+val now : t -> int
+(** The site clock the store's access dates are measured against. *)
+
 val entry_date : t -> scheme:string -> url:string -> int option
 (** Access date (site-clock ticks) of the stored entry, if any. *)
 
@@ -58,6 +61,16 @@ val revalidate :
     and enqueues it on CheckMissing for the sweep, exactly as
     {!url_check} does; [`Unknown] = nothing stored under that key.
     Per-query status flags are untouched. *)
+
+val revalidate_batch :
+  t ->
+  (string * string) list ->
+  (string * string * [ `Current | `Refreshed | `Gone | `Unreachable | `Unknown ]) list
+(** {!revalidate} over a [(scheme, url)] batch: one windowed HEAD
+    batch through the fetcher — the light-connection latencies overlap
+    as a navigation's downloads do — then the per-entry bookkeeping.
+    Keys with nothing stored come back [`Unknown] without wire
+    traffic. *)
 
 val download_entry : t -> scheme:string -> url:string -> Adm.Value.tuple option
 (** Force-refresh one page: a wire GET (any fetcher-cached copy is

@@ -33,6 +33,12 @@ type est = {
 
 type node =
   | Scan of { scheme : string; alias : string; url : string; filter : Pred.t }
+  | View_scan of {
+      view : string; (* registered relation answered from the matview store *)
+      alias : string;
+      ext_attrs : string list; (* declared attributes, unqualified *)
+      filter : Pred.t; (* selection fused over the scan *)
+    }
   | Filter of { pred : Pred.t; input : op }
   | Project of { attrs : string list; input : op }
   | Hash_join of {
@@ -61,8 +67,8 @@ let prefixed prefix a =
   String.length a > String.length prefix
   && String.sub a 0 (String.length prefix) = prefix
 
-let lower ?card ?pages ?(window = 8) (schema : Adm.Schema.t) (e : Nalg.expr) :
-    plan =
+let lower ?card ?pages ?(view_attrs = fun (_ : string) -> None) ?(window = 8)
+    (schema : Adm.Schema.t) (e : Nalg.expr) : plan =
   let attrs_of = Nalg.output_attrs_memo schema in
   let counter = ref 0 in
   let mk node est =
@@ -76,12 +82,18 @@ let lower ?card ?pages ?(window = 8) (schema : Adm.Schema.t) (e : Nalg.expr) :
   in
   let rec go (e : Nalg.expr) : op =
     match e with
-    | Nalg.External { name; _ } ->
-      raise
-        (Not_computable
-           (Fmt.str
-              "external relation %s must be replaced by a default navigation (rule 1)"
-              name))
+    | Nalg.External { name; alias } -> (
+      match view_attrs name with
+      | Some attrs ->
+        mk
+          (View_scan { view = name; alias; ext_attrs = attrs; filter = [] })
+          (est_of ~own_pages:(pages_of e) e)
+      | None ->
+        raise
+          (Not_computable
+             (Fmt.str
+                "external relation %s must be replaced by a default navigation (rule 1)"
+                name)))
     | Nalg.Entry { scheme; alias } -> (
       let ps = Adm.Schema.find_scheme_exn schema scheme in
       match Adm.Page_scheme.entry_url ps with
@@ -99,6 +111,8 @@ let lower ?card ?pages ?(window = 8) (schema : Adm.Schema.t) (e : Nalg.expr) :
       let est = est_of ~own_pages e in
       match inner.node with
       | Scan s -> { inner with node = Scan { s with filter = s.filter @ p }; est }
+      | View_scan v ->
+        { inner with node = View_scan { v with filter = v.filter @ p }; est }
       | Follow_links f ->
         { inner with node = Follow_links { f with filter = f.filter @ p }; est }
       | Filter f -> { inner with node = Filter { f with pred = f.pred @ p }; est }
@@ -143,6 +157,9 @@ let rec op_to_nalg (o : op) : Nalg.expr =
   | Scan { scheme; alias; url = _; filter } ->
     let base = Nalg.Entry { scheme; alias } in
     if filter = [] then base else Nalg.Select (filter, base)
+  | View_scan { view; alias; ext_attrs = _; filter } ->
+    let base = Nalg.External { name = view; alias } in
+    if filter = [] then base else Nalg.Select (filter, base)
   | Filter { pred; input } -> Nalg.Select (pred, op_to_nalg input)
   | Project { attrs; input } -> Nalg.Project (attrs, op_to_nalg input)
   | Hash_join { keys; left; right; build_left = _ } ->
@@ -161,7 +178,7 @@ let to_nalg plan = op_to_nalg plan.root
 let rec fold_op f acc o =
   let acc = f acc o in
   match o.node with
-  | Scan _ -> acc
+  | Scan _ | View_scan _ -> acc
   | Filter { input; _ } | Project { input; _ } | Stream_unnest { input; _ } ->
     fold_op f acc input
   | Follow_links { src; _ } -> fold_op f acc src
@@ -175,6 +192,8 @@ let node_label (o : op) =
   match o.node with
   | Scan { scheme; alias; filter; _ } ->
     Fmt.str "scan %s%s%s" scheme (aka scheme alias) (filtered filter)
+  | View_scan { view; alias; filter; _ } ->
+    Fmt.str "view-scan %s%s%s" view (aka view alias) (filtered filter)
   | Filter { pred; _ } -> Fmt.str "filter σ[%s]" (Pred.to_string pred)
   | Project { attrs; _ } -> Fmt.str "project π %s" (String.concat ", " attrs)
   | Hash_join { keys; build_left; _ } ->
@@ -191,7 +210,7 @@ let pp ppf (plan : plan) =
     let pad = String.make indent ' ' in
     Fmt.pf ppf "%s%s@," pad (node_label o);
     match o.node with
-    | Scan _ -> ()
+    | Scan _ | View_scan _ -> ()
     | Filter { input; _ } | Project { input; _ } | Stream_unnest { input; _ } ->
       go (indent + 2) ppf input
     | Follow_links { src; _ } -> go (indent + 2) ppf src

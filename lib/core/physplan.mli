@@ -16,6 +16,16 @@ type est = {
 type node =
   | Scan of { scheme : string; alias : string; url : string; filter : Pred.t }
       (** entry-point page access with any fused selection *)
+  | View_scan of {
+      view : string;
+      alias : string;
+      ext_attrs : string list;
+      filter : Pred.t;
+    }
+      (** registered materialized view answered from the matview store
+          under light-connection economics (bounded HEAD revalidation,
+          GET only on observed change); [ext_attrs] are the relation's
+          declared attributes, qualified by [alias] in the output *)
   | Filter of { pred : Pred.t; input : op }
   | Project of { attrs : string list; input : op }
   | Hash_join of {
@@ -57,6 +67,7 @@ exception Not_streamable of string
 val lower :
   ?card:(Nalg.expr -> float) ->
   ?pages:(Nalg.expr -> float) ->
+  ?view_attrs:(string -> string list option) ->
   ?window:int ->
   Adm.Schema.t ->
   Nalg.expr ->
@@ -65,6 +76,9 @@ val lower :
     the output cardinality of a subexpression and [pages] the page
     accesses its own operator issues (both typically from {!Cost} over
     {!Stats}; omitted → no annotations and legacy build sides).
+    [view_attrs] answers the declared attribute list of a registered
+    materialized view by name; when it returns [Some attrs] an
+    [External] leaf lowers to {!View_scan} instead of raising.
     [window] (default 8) is the prefetch window handed to the fetch
     engine. Raises {!Not_computable} or {!Not_streamable}. *)
 

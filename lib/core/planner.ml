@@ -13,6 +13,28 @@
 
 type plan = { expr : Nalg.expr; cost : float; card : float }
 
+(* A registered-view access path offered to the enumeration: the
+   filter tree finds subsuming views, the economics snapshot prices
+   them, and the typed environments let the soundness gate accept
+   plans whose leaves are view scans. *)
+type view_context = {
+  vc_index : Viewmatch.t;
+  vc_econ : Cost.view_econ;
+  vc_env : string -> Typecheck.env option;
+}
+
+(* Provenance of one view substitution in a chosen plan: which
+   registered view answers which query occurrence, the residual
+   predicate the executor still applies above the scan, and the
+   priced HEAD/GET wire split of the scan. *)
+type substitution = {
+  sub_view : string;
+  sub_alias : string;
+  sub_residual : Pred.t;
+  sub_heads : float;
+  sub_gets : float;
+}
+
 type outcome = {
   best : plan;
   candidates : plan list; (* all candidates, sorted by cost *)
@@ -21,12 +43,16 @@ type outcome = {
       (* candidates dropped because an equivalent (cheaper) plan kept
          their Contain.plan_key *)
   select : string list; (* the query's output attributes, in order *)
+  view_used : substitution list;
+      (* view substitutions of the best plan, one per External leaf;
+         empty when the cost race chose pure navigation *)
   diagnostics : Diagnostic.t list;
       (* findings of the enumeration: W0401 when a plan-space cap
          truncated a closure phase, E0402/E0403 when a rewrite step
          failed the soundness check, E0404 for candidates rejected as
          ill-typed before costing, E0601/W0602 from input-query
-         minimization *)
+         minimization, W0605 when the best plan answers from a
+         materialized view *)
 }
 
 (* Candidate plans name their output columns after the page-scheme
@@ -85,8 +111,51 @@ let fixpoint ?(max_rounds = 50) (rule : Nalg.expr -> Nalg.expr list) e =
   in
   go max_rounds e
 
+(* The residual predicate of a view substitution: the selection atoms
+   of the plan that reference the substituted occurrence's alias —
+   what the executor still filters above the view scan. *)
+let residual_of (e : Nalg.expr) alias : Pred.t =
+  let prefix = alias ^ "." in
+  let refers a =
+    String.length a > String.length prefix
+    && String.sub a 0 (String.length prefix) = prefix
+  in
+  Nalg.fold
+    (fun acc n ->
+      match n with
+      | Nalg.Select (p, _) ->
+        List.filter (fun atom -> List.exists refers (Pred.atom_attrs atom)) p
+        @ acc
+      | _ -> acc)
+    [] e
+  |> Pred.normalize
+
+(* The view substitutions a plan answers from: one per External leaf
+   the economics snapshot prices (and therefore the executor can
+   scan), with the HEAD/GET wire split that price predicts. *)
+let substitutions_of (views : view_context option) (e : Nalg.expr) :
+    substitution list =
+  match views with
+  | None -> []
+  | Some vc ->
+    List.filter_map
+      (fun (name, alias) ->
+        match vc.vc_econ.Cost.view name with
+        | None -> None
+        | Some v ->
+          let heads = v.Cost.view_pages *. v.Cost.view_stale in
+          Some
+            {
+              sub_view = name;
+              sub_alias = alias;
+              sub_residual = residual_of e alias;
+              sub_heads = heads;
+              sub_gets = heads *. v.Cost.view_change;
+            })
+      (Nalg.externals e)
+
 let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
-    ?(minimize = true) (schema : Adm.Schema.t) (stats : Stats.t)
+    ?(minimize = true) ?views (schema : Adm.Schema.t) (stats : Stats.t)
     (registry : View.registry) (q : Conjunctive.t) : outcome =
   (* [pointer_rules] and [constraint_selections] exist for ablation
      studies: without rules 8/9 (resp. rule 6) the planner falls back
@@ -96,6 +165,16 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
   let other_cap = Option.value cap ~default:400 in
   let diagnostics = ref [] in
   let diag d = diagnostics := d :: !diagnostics in
+  (* View access paths: the economics snapshot prices materialized
+     views; an External leaf it knows is a legitimate scan, not a
+     computability failure. *)
+  let econ =
+    match views with Some vc -> vc.vc_econ | None -> Cost.no_views
+  in
+  let known name = econ.Cost.view name <> None in
+  let tc_views name =
+    match views with None -> None | Some vc -> vc.vc_env name
+  in
   (* Rewrite soundness (E0402/E0403), with type inference memoized by
      canonical form — each distinct plan of the closure is inferred
      once — and at most one report per offending child plan. *)
@@ -105,7 +184,7 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
     match Hashtbl.find_opt inferred k with
     | Some r -> r
     | None ->
-      let r = Typecheck.infer schema e in
+      let r = Typecheck.infer ~views:tc_views schema e in
       Hashtbl.add inferred k r;
       r
   in
@@ -145,6 +224,36 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
   let base = Conjunctive.to_algebra q_plan in
   (* Step 2: rule 1 *)
   let expanded = View.expand registry base in
+  (* Step 2': rule 1 generalized to access paths — each occurrence may
+     also resolve to a scan of a materialized view that subsumes it
+     (itself, or a registered view the filter tree proves equivalent
+     on the occurrence's attributes). These plans keep External leaves
+     and bypass the navigation rewrites below: the rewrite rules
+     reason over page navigations, and a view scan exposes none. They
+     rejoin the pipeline at the costing stage, where the economics
+     snapshot prices their staleness against pure navigation. *)
+  let view_plans =
+    match views with
+    | None -> []
+    | Some vc ->
+      let scans (rel : View.relation) ~alias =
+        let self =
+          if known rel.View.rel_name then
+            [ Nalg.external_ ~alias rel.View.rel_name ]
+          else []
+        in
+        let subsumed =
+          Viewmatch.subsumers vc.vc_index rel
+          |> List.filter_map (fun (g : View.relation) ->
+                 if known g.View.rel_name then
+                   Some (Nalg.external_ ~alias g.View.rel_name)
+                 else None)
+        in
+        self @ subsumed
+      in
+      View.expand_access registry ~scans base
+      |> List.filter (fun e -> Nalg.externals e <> [])
+  in
   (* Step 3: rule 4 to fixpoint on each expansion (cheap first pass) *)
   let merged = List.map (fixpoint (Rewrite.rule4 schema)) expanded in
   (* Step 4: closure under join reordering and rules 4, 8, 9 (and 2);
@@ -181,8 +290,11 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
      else with_selections)
     |> List.map (Rewrite.prune schema)
   in
-  let pruned = with_projections in
-  (* dedup once more; typecheck gate; estimate; sort *)
+  let pruned = with_projections @ view_plans in
+  (* dedup once more; typecheck gate; estimate; sort. Computability is
+     relaxed to access paths: a plan may keep External leaves when
+     every one names a view the economics snapshot prices (the
+     executor answers those from the store). *)
   let seen = Hashtbl.create 64 in
   let costed =
     List.filter
@@ -194,7 +306,8 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
           true
         end)
       pruned
-    |> List.filter Nalg.is_computable
+    |> List.filter (fun e ->
+           List.for_all (fun (name, _) -> known name) (Nalg.externals e))
     |> List.filter (fun e ->
            let _, ds = infer_cached e in
            if Diagnostic.has_errors ds then begin
@@ -205,7 +318,7 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
            end
            else true)
     |> List.map (fun e ->
-           let est = Cost.estimate schema stats e e in
+           let est = Cost.estimate ~views:econ schema stats e e in
            { expr = e; cost = est.Cost.cost; card = est.Cost.card })
     |> List.sort (fun p1 p2 -> Float.compare p1.cost p2.cost)
   in
@@ -233,25 +346,41 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
   match candidates with
   | [] -> invalid_arg "Planner.enumerate: no computable plan"
   | best :: _ ->
+    let view_used = substitutions_of views best.expr in
+    List.iter
+      (fun s ->
+        diag
+          (Diagnostic.warning ~code:"W0605"
+             "best plan answers occurrence %s from materialized view %s \
+              (≈%.1f HEAD, ≈%.1f GET)"
+             s.sub_alias s.sub_view s.sub_heads s.sub_gets))
+      view_used;
     {
       best;
       candidates;
       explored = List.length pruned;
       merged = !merged;
       select = q.Conjunctive.select;
+      view_used;
       diagnostics = List.rev !diagnostics;
     }
 
-let plan_sql ?cap ?pointer_rules ?constraint_selections schema stats registry
-    sql =
-  enumerate ?cap ?pointer_rules ?constraint_selections schema stats registry
+let plan_sql ?cap ?pointer_rules ?constraint_selections ?minimize ?views schema
+    stats registry sql =
+  enumerate ?cap ?pointer_rules ?constraint_selections ?minimize ?views schema
+    stats registry
     (Sql_parser.parse registry sql)
 
 (* Plan and execute a SQL query against a page source. Returns the
-   chosen plan and the result. *)
-let run ?cap schema stats registry source sql =
-  let outcome = plan_sql ?cap schema stats registry sql in
-  let result = rename_output outcome (Eval.eval schema source outcome.best.expr) in
+   chosen plan and the result. [views] opens registered-view access
+   paths to the enumeration; [exec_views] is the store-backed answerer
+   the executor needs when the chosen plan scans a view. *)
+let run ?cap ?views ?exec_views schema stats registry source sql =
+  let outcome = plan_sql ?cap ?views schema stats registry sql in
+  let result =
+    rename_output outcome
+      (Eval.eval ?views:exec_views schema source outcome.best.expr)
+  in
   (outcome, result)
 
 let pp_plan ppf p =

@@ -375,10 +375,25 @@ let rule8 (schema : Adm.Schema.t) (root : expr) : expr list =
    π_X((R1 →L R3) ⋈_{R3.B=R2.A} R2) = π_X(R2 →L' R3)
    requires the inclusion R2.L' ⊆ R1.L and that X references nothing
    from R1. *)
+
+(* The abandoned prefix must enumerate the link path's full extent:
+   a chain of entry points, unnests and follows. A Select or Join on
+   the spine restricts the link set the navigation reaches, and the
+   declared inclusion R2.L' ⊆ R1.L speaks about the unrestricted
+   extent — dropping a restricted prefix would silently widen the
+   answer (e.g. "professors that teach" back to "professors"). *)
+let rec pure_navigation = function
+  | Entry _ -> true
+  | Unnest (e1, _) -> pure_navigation e1
+  | Follow { src; _ } -> pure_navigation src
+  | Select _ | Join _ | Project _ | External _ -> false
+
 let rule9 (schema : Adm.Schema.t) (root : expr) : expr list =
   List.filter_map
     (fun m ->
       let fl = m.follow in
+      if not (pure_navigation fl.src) then None
+      else
       match constraint_path_of_attr fl.src fl.link with
       | None -> None
       | Some (sup_path, _) ->
@@ -543,7 +558,19 @@ let prune (schema : Adm.Schema.t) (root : expr) : expr =
             && String.sub n 0 (String.length a + 1) = a ^ ".")
           needed
       in
-      if contributes then Unnest (go (a :: needed) e1, a) else go needed e1
+      (* Rule 3 is licensed by a declared non-emptiness constraint:
+         without it, a page with an empty list would survive the
+         unnest-free plan but produce no rows in the original. *)
+      let droppable =
+        match constraint_path_of_attr e1 a with
+        | Some (p, _) -> (
+          match Adm.Schema.find_scheme schema p.Adm.Constraints.scheme with
+          | Some ps -> Adm.Page_scheme.is_nonempty_path ps p.Adm.Constraints.steps
+          | None -> false)
+        | None -> false
+      in
+      if contributes || not droppable then Unnest (go (a :: needed) e1, a)
+      else go needed e1
     | Follow fl ->
       let prefix = fl.alias ^ "." in
       let contributes =

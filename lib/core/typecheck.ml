@@ -38,7 +38,8 @@ let scheme_env (schema : Adm.Schema.t) ~scheme ~alias : env =
    the reversed step path from the root to the current node; each
    diagnostic carries the forward path so {!Explain.locate} can point
    back at the operator. *)
-let infer (schema : Adm.Schema.t) (root : Nalg.expr) : env * Diagnostic.t list =
+let infer ?(views = fun (_ : string) -> None) (schema : Adm.Schema.t)
+    (root : Nalg.expr) : env * Diagnostic.t list =
   let diags = ref [] in
   let report rev severity code fmt =
     Fmt.kstr
@@ -79,10 +80,16 @@ let infer (schema : Adm.Schema.t) (root : Nalg.expr) : env * Diagnostic.t list =
         if not (Adm.Page_scheme.is_entry_point ps) then
           err rev "E0102" "page-scheme %s is not an entry point" scheme);
       scheme_env schema ~scheme ~alias
-    | Nalg.External { name; alias } ->
-      err rev "E0107" "external relation %s remains (not computable)" name;
-      (* placeholder matching [Nalg.output_attrs]'s arity *)
-      [ (alias ^ ".*" ^ name, Adm.Webtype.Text) ]
+    | Nalg.External { name; alias } -> (
+      match views name with
+      | Some (attrs : (string * Adm.Webtype.t) list) ->
+        (* A registered materialized view: the occurrence is an access
+           path (answered by [View_scan]), typed like a base scheme. *)
+        List.map (fun (a, ty) -> (alias ^ "." ^ a, ty)) attrs
+      | None ->
+        err rev "E0107" "external relation %s remains (not computable)" name;
+        (* placeholder matching [Nalg.output_attrs]'s arity *)
+        [ (alias ^ ".*" ^ name, Adm.Webtype.Text) ])
     | Nalg.Select (p, e1) ->
       let env1 = go ("select" :: rev) e1 in
       List.iter (check_atom rev "selection" env1) p;

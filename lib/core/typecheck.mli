@@ -22,12 +22,22 @@ val scheme_env : Adm.Schema.t -> scheme:string -> alias:string -> env
     first (typed [Link scheme]), then the declared attributes. Empty
     for unknown schemes. *)
 
-val infer : Adm.Schema.t -> Nalg.expr -> env * Diagnostic.t list
+val infer :
+  ?views:(string -> (string * Adm.Webtype.t) list option) ->
+  Adm.Schema.t ->
+  Nalg.expr ->
+  env * Diagnostic.t list
 (** Bottom-up type inference over every subexpression. The environment
     is best-effort when diagnostics contain errors (unknown attributes
     default to [Text]); it is trustworthy exactly when no error is
     reported. Diagnostic paths point into the expression tree (see
-    {!Explain.locate}). *)
+    {!Explain.locate}).
+
+    [?views] answers the declared attributes of a registered
+    materialized view by name: when it returns [Some attrs] for an
+    [External] occurrence, the occurrence types like a base scheme
+    (each attribute qualified by the alias) instead of raising [E0107]
+    — views become first-class access paths to the type system. *)
 
 val check : Adm.Schema.t -> Nalg.expr -> Diagnostic.t list
 (** [check schema e = snd (infer schema e)]. *)

@@ -81,40 +81,63 @@ let freshen taken nav =
   let renames = List.combine original now in
   (expr, List.map (rename_binding renames) nav.bindings)
 
-(* Rule 1: all ways of replacing every external relation in [query]
-   by one of its default navigations. External attributes
-   ("<alias>.<attr>") referenced anywhere in the query are renamed to
-   the navigation's own attribute names. *)
-let expand (registry : registry) (query : Nalg.expr) : Nalg.expr list =
-  let rec go query =
-    match Nalg.externals query with
-    | [] -> [ query ]
-    | (name, alias) :: _ ->
+(* Rule 1, generalized to access-path choice: replace every external
+   relation occurrence either by one of its default navigations (the
+   paper's rule 1) or by any of the alternative scan expressions
+   [scans rel ~alias] offers — view-scan leaves left as [External]
+   nodes for the physical layer to answer from the matview store. A
+   scan keeps the occurrence's "<alias>.<attr>" naming, so residual
+   selections, join keys and the final projection need no renaming;
+   [done_] records aliases already resolved to a scan so the recursion
+   does not reconsider them. *)
+let expand_access (registry : registry) ~scans (query : Nalg.expr) :
+    Nalg.expr list =
+  let rec go done_ query =
+    match
+      List.find_opt
+        (fun (_, a) -> not (List.mem a done_))
+        (Nalg.externals query)
+    with
+    | None -> [ query ]
+    | Some (name, alias) ->
       let rel = find_exn registry name in
-      List.concat_map
-        (fun nav ->
-          let taken = Nalg.aliases query in
-          let nav_expr, bindings = freshen taken nav in
-          let substituted = replace_external alias nav_expr query in
-          let rename attr =
-            let prefix = alias ^ "." in
-            if
-              String.length attr > String.length prefix
-              && String.sub attr 0 (String.length prefix) = prefix
-            then
-              let ext_attr =
-                String.sub attr (String.length prefix)
-                  (String.length attr - String.length prefix)
-              in
-              match List.assoc_opt ext_attr bindings with
-              | Some plan_attr -> plan_attr
-              | None -> attr
-            else attr
-          in
-          go (Nalg.rename_attrs rename substituted))
-        rel.navigations
+      let via_navigations =
+        List.concat_map
+          (fun nav ->
+            let taken = Nalg.aliases query in
+            let nav_expr, bindings = freshen taken nav in
+            let substituted = replace_external alias nav_expr query in
+            let rename attr =
+              let prefix = alias ^ "." in
+              if
+                String.length attr > String.length prefix
+                && String.sub attr 0 (String.length prefix) = prefix
+              then
+                let ext_attr =
+                  String.sub attr (String.length prefix)
+                    (String.length attr - String.length prefix)
+                in
+                match List.assoc_opt ext_attr bindings with
+                | Some plan_attr -> plan_attr
+                | None -> attr
+              else attr
+            in
+            go done_ (Nalg.rename_attrs rename substituted))
+          rel.navigations
+      in
+      let via_scans =
+        List.concat_map
+          (fun replacement ->
+            go (alias :: done_) (replace_external alias replacement query))
+          (scans rel ~alias)
+      in
+      via_navigations @ via_scans
   in
-  go query
+  go [] query
+
+(* Rule 1 proper: navigations only. *)
+let expand (registry : registry) (query : Nalg.expr) : Nalg.expr list =
+  expand_access registry ~scans:(fun _ ~alias:_ -> []) query
 
 (* ------------------------------------------------------------------ *)
 (* Default-navigation inference                                        *)

@@ -42,6 +42,20 @@ val expand : registry -> Nalg.expr -> Nalg.expr list
     external attribute references to the navigation's attributes and
     uniquifying aliases. *)
 
+val expand_access :
+  registry ->
+  scans:(relation -> alias:string -> Nalg.expr list) ->
+  Nalg.expr ->
+  Nalg.expr list
+(** Rule 1 generalized to access-path choice: each occurrence is
+    replaced either by a default navigation (as {!expand}) or by any
+    alternative scan expression [scans rel ~alias] offers — typically
+    an [External] leaf naming a materialized view that subsumes the
+    occurrence, left for the physical layer's view scan. Scans keep
+    the occurrence's ["<alias>.<attr>"] naming, so the surrounding
+    query needs no renaming. [expand] is [expand_access] with no
+    scans. *)
+
 val infer_navigations : Adm.Schema.t -> scheme:string -> Nalg.expr list
 (** The paper's Section 5 suggestion made concrete: infer default
     navigations for a page-scheme from the web scheme itself — the

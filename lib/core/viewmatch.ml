@@ -160,6 +160,37 @@ let subsumes ~(general : View.relation) ~(specific : View.relation) =
 let subsumers t rel =
   List.filter (fun g -> subsumes ~general:g ~specific:rel) (candidates t rel)
 
+(* Dead views for a workload: a registered view no workload occurrence
+   can ever use — it is not named by any query and shares no filter-tree
+   bucket (with covering attributes) with any named occurrence, so the
+   planner can never substitute it. Every check here is the necessary
+   condition of [candidates]; a view that fails it cannot pass the
+   semantic subsumption test either. *)
+let dead_views (t : t) (occurrences : View.relation list) : View.relation list =
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun (rel : View.relation) ->
+      Hashtbl.replace used rel.View.rel_name ();
+      List.iter
+        (fun (g : View.relation) -> Hashtbl.replace used g.View.rel_name ())
+        (candidates t rel))
+    occurrences;
+  List.filter
+    (fun (r : View.relation) -> not (Hashtbl.mem used r.View.rel_name))
+    t.ordered
+
+let workload_lint (t : t) (occurrences : View.relation list) : Diagnostic.t list =
+  if occurrences = [] then []
+  else
+    List.map
+      (fun (r : View.relation) ->
+        Diagnostic.warning ~code:"W0606"
+          "registered view %s is dead for this workload: no query can use it \
+           (no filter-tree bucket overlap) — maintenance spend with no \
+           planner payoff"
+          r.View.rel_name)
+      (dead_views t occurrences)
+
 let registry_lint (t : t) : Diagnostic.t list =
   let pos name =
     let rec go i = function

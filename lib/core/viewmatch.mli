@@ -47,3 +47,14 @@ val registry_lint : t -> Diagnostic.t list
 (** [W0603] for every view subsumed by another registered view (for
     mutually-subsuming duplicates, the later one in registry order is
     reported). *)
+
+val dead_views : t -> View.relation list -> View.relation list
+(** Indexed views no workload occurrence can ever use: not named by
+    any query in the workload, and sharing no filter-tree bucket (with
+    covering attributes) with any named occurrence — so the planner
+    can never substitute them. The argument is the set of external
+    relations the workload's queries name. *)
+
+val workload_lint : t -> View.relation list -> Diagnostic.t list
+(** [W0606] for every {!dead_views} entry; empty when the workload
+    itself is empty (no evidence either way). *)

@@ -72,8 +72,9 @@ type spec = {
 
 (* Workloads draw from small template pools, so plan each distinct SQL
    text once; the distinct texts plan in parallel on the pool when one
-   is given (planning is pure — costs, rewrites, no network). *)
-let plan_workload ?pool (schema : Adm.Schema.t) (stats : Webviews.Stats.t)
+   is given (planning is pure — costs, rewrites, no network; a view
+   context is a read-only snapshot, so it fans out too). *)
+let plan_workload ?pool ?views (schema : Adm.Schema.t) (stats : Webviews.Stats.t)
     (registry : Webviews.View.registry) (entries : Workload.entry list) :
     spec list =
   let texts =
@@ -81,7 +82,9 @@ let plan_workload ?pool (schema : Adm.Schema.t) (stats : Webviews.Stats.t)
       (List.map (fun (e : Workload.entry) -> e.Workload.sql) entries)
   in
   let plan sql =
-    (sql, (Webviews.Planner.plan_sql schema stats registry sql).Webviews.Planner.best)
+    ( sql,
+      (Webviews.Planner.plan_sql ?views schema stats registry sql)
+        .Webviews.Planner.best )
   in
   let planned =
     match pool with
@@ -402,12 +405,24 @@ let run ?stale ?on_result ?(keep_rows = true) ?on_turn ?source_for ?probe
         | Some s -> s
         | None -> job_source cache ~qid:spec.qid ?stale schema (stale_c, missing_c)
       in
+      (* A plan that answers an occurrence from a registered view
+         carries an [External] leaf; lowering resolves it to a
+         [View_scan] against the cache's attached view store. Without
+         an attached store such a plan could not run — plan_workload
+         only emits one when a view context (built over that same
+         store) was supplied, so the two are wired together. *)
+      let exec_views = Shared_cache.view_answerer cache in
+      let view_attrs =
+        Option.map (fun (v : Webviews.Exec.views) -> v.Webviews.Exec.view_attrs)
+          exec_views
+      in
       let engine =
         match
-          Webviews.Physplan.lower ~window:source.Webviews.Eval.window schema
-            spec.expr
+          Webviews.Physplan.lower ?view_attrs
+            ~window:source.Webviews.Eval.window schema spec.expr
         with
-        | plan -> Streaming (Webviews.Exec.start schema source plan)
+        | plan ->
+          Streaming (Webviews.Exec.start ?views:exec_views schema source plan)
         | exception Webviews.Physplan.Not_streamable _ -> Eager spec.expr
       in
       (* The admission stamp is the earliest lane frontier: the first

@@ -60,12 +60,16 @@ type spec = {
 }
 
 val plan_workload :
-  ?pool:Pool.t -> Adm.Schema.t -> Webviews.Stats.t -> Webviews.View.registry ->
+  ?pool:Pool.t -> ?views:Webviews.Planner.view_context ->
+  Adm.Schema.t -> Webviews.Stats.t -> Webviews.View.registry ->
   Workload.entry list -> spec list
 (** Plan each workload entry with {!Webviews.Planner.plan_sql} and
     number the specs in order. Each distinct SQL text is planned once
     (workloads draw from small template pools); the distinct texts
-    plan in parallel when a pool is given. *)
+    plan in parallel when a pool is given. With [views], registered
+    materialized views compete as access paths, and a winning spec
+    carries the view occurrence in its [expr] — run such specs against
+    a cache with the same store {!Shared_cache.attach_views}ed. *)
 
 type completeness = {
   complete : bool;

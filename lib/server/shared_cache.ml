@@ -93,6 +93,10 @@ type t = {
   mutable n_urls : int;
   queries : (int, Bitset.t) Hashtbl.t;
   mutable cross_hits : int;
+  mutable views : Webviews.Viewstore.t option;
+      (* registered-view store resident queries may answer from *)
+  mutable view_answerer : Webviews.Exec.views option;
+      (* the executor-facing lens over [views] (may carry wire gates) *)
 }
 
 let default_shards = 16
@@ -121,6 +125,8 @@ let wrap ?(shards = default_shards) ?pool fetcher =
     n_urls = 0;
     queries = Hashtbl.create 16;
     cross_hits = 0;
+    views = None;
+    view_answerer = None;
   }
 
 let create ?shards ?pool ?config ?netmodel http =
@@ -129,6 +135,22 @@ let create ?shards ?pool ?config ?netmodel http =
 let fetcher t = t.fetcher
 let report t = Websim.Fetcher.report t.fetcher
 let shard_count t = Array.length t.shards
+
+(* Attach a registered-view store so resident queries can answer from
+   it: the scheduler lowers [External] view occurrences to [View_scan]
+   and resolves them through [answerer]. The caller may pass an
+   answerer wrapped with its own wire gates (a churn runtime's budget);
+   by default scans revalidate under the store's own head budget. *)
+let attach_views ?answerer t vs =
+  t.views <- Some vs;
+  t.view_answerer <-
+    Some
+      (match answerer with
+      | Some a -> a
+      | None -> Webviews.Viewstore.answerer vs)
+
+let views t = t.views
+let view_answerer t = t.view_answerer
 
 (* FNV-1a: stable across runs, unlike Hashtbl.hash no dependence on
    stdlib internals, and cheap enough for the fetch path. *)

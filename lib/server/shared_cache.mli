@@ -33,6 +33,20 @@ val create :
 val fetcher : t -> Websim.Fetcher.t
 val shard_count : t -> int
 
+val attach_views : ?answerer:Webviews.Exec.views -> t -> Webviews.Viewstore.t -> unit
+(** Expose a registered-view store to resident queries: the scheduler
+    lowers view occurrences in admitted plans to [View_scan] and
+    resolves them through [answerer] (default
+    {!Webviews.Viewstore.answerer}, i.e. scans revalidate under the
+    store's own HEAD budget — pass an answerer wrapped with wire gates
+    to put a maintenance budget in charge instead). *)
+
+val views : t -> Webviews.Viewstore.t option
+(** The attached registered-view store, if any. *)
+
+val view_answerer : t -> Webviews.Exec.views option
+(** The executor-facing lens over {!views}. *)
+
 val report : t -> Websim.Fetcher.report
 (** The shared engine's merged cost ledger (wire + engine). *)
 

@@ -95,7 +95,7 @@ let schema : Adm.Schema.t =
   let dept_list =
     Page_scheme.make ~entry_url:dept_list_url "DeptListPage"
       [
-        Page_scheme.attr "DeptList"
+        Page_scheme.attr "DeptList" ~nonempty:true
           (Webtype.List [ ("DName", text); ("ToDept", link "DeptPage") ]);
       ]
   in
@@ -104,14 +104,14 @@ let schema : Adm.Schema.t =
       [
         Page_scheme.attr "DName" text;
         Page_scheme.attr "Address" text;
-        Page_scheme.attr "ProfList"
+        Page_scheme.attr "ProfList" ~nonempty:true
           (Webtype.List [ ("PName", text); ("ToProf", link "ProfPage") ]);
       ]
   in
   let prof_list =
     Page_scheme.make ~entry_url:prof_list_url "ProfListPage"
       [
-        Page_scheme.attr "ProfList"
+        Page_scheme.attr "ProfList" ~nonempty:true
           (Webtype.List [ ("PName", text); ("ToProf", link "ProfPage") ]);
       ]
   in
@@ -130,7 +130,7 @@ let schema : Adm.Schema.t =
   let session_list =
     Page_scheme.make ~entry_url:session_list_url "SessionListPage"
       [
-        Page_scheme.attr "SesList"
+        Page_scheme.attr "SesList" ~nonempty:true
           (Webtype.List [ ("Session", text); ("ToSes", link "SessionPage") ]);
       ]
   in

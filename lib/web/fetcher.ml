@@ -545,23 +545,24 @@ let head t url : int fetched =
     result
   end
 
+let distinct_urls urls =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun u ->
+      if Hashtbl.mem seen u then false
+      else begin
+        Hashtbl.add seen u ();
+        true
+      end)
+    urls
+
 (* Batched fetch: the distinct URLs are submitted together and their
    simulated latencies overlap under the configured in-flight width —
    list scheduling onto [window] slots, each request (including its
    retries and backoff waits) occupying one slot. The batch costs its
    makespan, not the sum of its latencies. *)
 let get_batch t urls : (string * page fetched) list =
-  let distinct =
-    let seen = Hashtbl.create 16 in
-    List.filter
-      (fun u ->
-        if Hashtbl.mem seen u then false
-        else begin
-          Hashtbl.add seen u ();
-          true
-        end)
-      urls
-  in
+  let distinct = distinct_urls urls in
   t.counters.batches <- t.counters.batches + 1;
   t.counters.coalesced <- t.counters.coalesced + (List.length urls - List.length distinct);
   let slots = Array.make t.cfg.window 0.0 in
@@ -585,6 +586,38 @@ let get_batch t urls : (string * page fetched) list =
           | Absent -> cache_store t url Gone
           | Unreachable -> ());
           (url, result))
+      distinct
+  in
+  spend t (Array.fold_left Float.max 0.0 slots);
+  results
+
+(* Batched light connections: the distinct URLs' HEAD latencies
+   overlap under the configured window, exactly as [get_batch]'s
+   downloads do. HEADs are never cached; each request passes the
+   breaker individually, so a mid-batch trip fast-fails the rest. The
+   materialized store's maintenance revalidation sweeps through
+   this. *)
+let head_batch t urls : (string * int fetched) list =
+  let distinct = distinct_urls urls in
+  t.counters.batches <- t.counters.batches + 1;
+  t.counters.coalesced <- t.counters.coalesced + (List.length urls - List.length distinct);
+  let slots = Array.make t.cfg.window 0.0 in
+  let slot_of () =
+    let best = ref 0 in
+    Array.iteri (fun i v -> if v < slots.(!best) then best := i) slots;
+    !best
+  in
+  let results =
+    List.map
+      (fun url ->
+        if not (breaker_allows t) then (url, Unreachable)
+        else begin
+          let result, dur = run_head t url in
+          breaker_record t ~dead:(result = Unreachable);
+          let s = slot_of () in
+          slots.(s) <- slots.(s) +. dur;
+          (url, result)
+        end)
       distinct
   in
   spend t (Array.fold_left Float.max 0.0 slots);

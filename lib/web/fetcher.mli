@@ -138,6 +138,14 @@ val get_batch : t -> string list -> (string * page fetched) list
     by the batch makespan. Results are keyed by URL in first-seen
     order; duplicates are coalesced. *)
 
+val head_batch : t -> string list -> (string * int fetched) list
+(** Light-connection batch: the distinct URLs' HEAD latencies overlap
+    under the configured window, as {!get_batch}'s downloads do, and
+    the clock advances by the makespan. Never cached; each request
+    passes the circuit breaker individually. Results are keyed by URL
+    in first-seen order; duplicates are coalesced. The materialized
+    store's maintenance revalidation sweeps through this. *)
+
 val prefetch : t -> string list -> unit
 (** Warm the cache for an upcoming navigation ([get_batch], results
     dropped). A no-op on a cache-less fetcher. *)

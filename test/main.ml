@@ -22,6 +22,7 @@ let () =
       Test_contain.suite;
       Test_netsim.suite;
       Test_exec.suite;
+      Test_views.suite;
       Test_server.suite;
       Test_churn.suite;
     ]

@@ -346,6 +346,20 @@ let digest_results (rep : Churn.Runtime.report) =
        digest_rows r.Server.Sched.rows))
     rep.Churn.Runtime.sched.Server.Sched.results
 
+(* Order-normalized variant for comparisons across plan families: the
+   incremental policy may answer a query from a registered view, whose
+   rows arrive in store order rather than navigation order, and whose
+   output attributes carry the query's own aliases (p.PName) where a
+   navigation plan carries page-scheme ones (ProfPage.PName). Compare
+   arity and content, not names. *)
+let sorted_results (rep : Churn.Runtime.report) =
+  List.map
+    (fun (r : Server.Sched.result) ->
+      ( r.Server.Sched.qid,
+        List.length (Adm.Relation.attrs r.Server.Sched.rows),
+        List.sort compare (Adm.Relation.rows_arrays r.Server.Sched.rows) ))
+    rep.Churn.Runtime.sched.Server.Sched.results
+
 let prop_rate_zero_is_frozen =
   QCheck.Test.make ~name:"churn rate 0 == no-churn run (seeds 7/21/42, 1 vs 4 domains)"
     ~count:6
@@ -376,7 +390,10 @@ let prop_rate_zero_is_frozen =
       live.Churn.Runtime.mutations_total = 0
       && live.Churn.Runtime.maintenance.Churn.Maintain.gets_refreshed = 0
       && live.Churn.Runtime.violations = 0
-      && digest_results live = digest_results frozen
+      (* across policies the plan families differ (views vs
+         navigation), so compare content, order-normalized *)
+      && sorted_results live = sorted_results frozen
+      (* across domain counts everything is byte-identical *)
       && digest_results live = digest_results one_domain)
 
 let suite =

@@ -369,8 +369,9 @@ let test_build_side_follows_estimates () =
         match o.Physplan.node with
         | Physplan.Hash_join { left; right; build_left; _ } ->
           (left.Physplan.est, right.Physplan.est, build_left) :: acc
-        | Physplan.Scan _ | Physplan.Filter _ | Physplan.Project _
-        | Physplan.Stream_unnest _ | Physplan.Follow_links _ -> acc)
+        | Physplan.Scan _ | Physplan.View_scan _ | Physplan.Filter _
+        | Physplan.Project _ | Physplan.Stream_unnest _
+        | Physplan.Follow_links _ -> acc)
       [] plan
   in
   check bool_t "the pointer-join plan has a hash join" true (joins <> []);

@@ -282,6 +282,34 @@ let test_rule9_requires_inclusion () =
   check bool_t "dept path never dropped" true
     (List.for_all (fun e' -> List.mem "DeptPage" (Nalg.aliases e')) rewrites)
 
+let test_rule9_requires_pure_navigation () =
+  (* the chased-away prefix must enumerate the link path's full
+     extent. Here the prof-list navigation is restricted by a join to
+     the course spine ("professors that teach"): the declared inclusion
+     DeptPage.ProfList.ToProf ⊆ ProfListPage.ProfList.ToProf speaks
+     about the unrestricted path, so chasing from the dept side and
+     dropping the restricted prefix would widen the answer to
+     professors that teach nothing *)
+  let restricted_profs =
+    Nalg.follow
+      (Nalg.join
+         [ ("ProfListPage.ProfList.ToProf", "CoursePage.ToProf") ]
+         (Nalg.unnest (Nalg.entry ~alias:"ProfListPage" "ProfListPage") "ProfListPage.ProfList")
+         (courses_nav ()))
+      "ProfListPage.ProfList.ToProf" ~scheme:"ProfPage" ~alias:"ProfPage"
+  in
+  let dept_profs = Nalg.unnest (dept_nav ()) "DeptPage.ProfList" in
+  let e =
+    Nalg.project [ "ProfPage.PName" ]
+      (Nalg.join [ ("ProfPage.PName", "DeptPage.ProfList.PName") ] restricted_profs dept_profs)
+  in
+  let rewrites = Rewrite.rule9 schema e in
+  check bool_t "restricted prefix never dropped" true
+    (List.for_all (fun e' -> List.mem "CoursePage" (Nalg.aliases e')) rewrites);
+  List.iter
+    (fun e' -> check bool_t "same answer" true (same_answer ~on_attrs:[ "ProfPage.PName" ] e e'))
+    rewrites
+
 (* ------------------------------------------------------------------ *)
 (* Pruning (rules 3 and 5)                                             *)
 (* ------------------------------------------------------------------ *)
@@ -296,8 +324,8 @@ let test_prune_drops_unneeded_follow () =
     (same_answer ~on_attrs:[ "ProfListPage.ProfList.PName" ] e pruned)
 
 let test_prune_drops_unneeded_unnest () =
-  (* π[DName] over DeptPage ◦ ProfList: unnest contributes nothing
-     (rule 3) *)
+  (* π[DName] over DeptPage ◦ ProfList: unnest contributes nothing and
+     the schema declares ProfList non-empty, licensing rule 3 *)
   let e = Nalg.project [ "DeptPage.DName" ] (Nalg.unnest (dept_nav ()) "DeptPage.ProfList") in
   let pruned = Rewrite.prune schema e in
   let has_unnest =
@@ -313,6 +341,24 @@ let test_prune_keeps_needed () =
   let pruned = Rewrite.prune schema e in
   check bool_t "follow kept" true (List.mem "ProfPage" (Nalg.aliases pruned));
   check bool_t "same answer" true (same_answer ~on_attrs:[ "ProfPage.Rank" ] e pruned)
+
+let test_prune_keeps_possibly_empty_unnest () =
+  (* ProfPage.CourseList carries no non-emptiness declaration: a
+     professor may teach no course, so the unnest restricts (it is the
+     "professors that teach" filter) and rule 3 must not drop it even
+     though nothing above reads its attributes *)
+  let e =
+    Nalg.project [ "ProfPage.PName" ] (Nalg.unnest (profs_nav ()) "ProfPage.CourseList")
+  in
+  let pruned = Rewrite.prune schema e in
+  let has_unnest =
+    Nalg.fold
+      (fun acc n ->
+        acc || match n with Nalg.Unnest (_, a) -> String.equal a "ProfPage.CourseList" | _ -> false)
+      false pruned
+  in
+  check bool_t "possibly-empty unnest kept" true has_unnest;
+  check bool_t "same answer" true (same_answer ~on_attrs:[ "ProfPage.PName" ] e pruned)
 
 (* ------------------------------------------------------------------ *)
 (* Rule 7 (literal form)                                               *)
@@ -408,9 +454,13 @@ let suite =
       Alcotest.test_case "rule 9 pointer chase" `Quick test_rule9_fires_with_inclusion;
       Alcotest.test_case "rule 9 blocked by references" `Quick test_rule9_blocked_by_references;
       Alcotest.test_case "rule 9 requires inclusion" `Quick test_rule9_requires_inclusion;
+      Alcotest.test_case "rule 9 requires pure navigation" `Quick
+        test_rule9_requires_pure_navigation;
       Alcotest.test_case "prune drops follow (rule 5)" `Quick test_prune_drops_unneeded_follow;
       Alcotest.test_case "prune drops unnest (rule 3)" `Quick test_prune_drops_unneeded_unnest;
       Alcotest.test_case "prune keeps needed" `Quick test_prune_keeps_needed;
+      Alcotest.test_case "prune keeps possibly-empty unnest" `Quick
+        test_prune_keeps_possibly_empty_unnest;
       Alcotest.test_case "rule 7 eliminates navigation" `Quick
         test_rule7_replace_eliminates_navigation;
       Alcotest.test_case "rule 7 literal" `Quick test_rule7_literal;
