@@ -1,4 +1,4 @@
-.PHONY: build test check analyze ci bench bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-churn bench-views bench-all examples clean
+.PHONY: build test check analyze ci bench bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-churn bench-views bench-bindings bench-all examples clean
 
 build:
 	dune build @all
@@ -121,7 +121,18 @@ bench-churn:
 bench-views:
 	dune exec bench/main.exe -- views
 
-bench-all: bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-churn bench-views
+# Binding-pattern benchmark: the equivalent-rewriting search timed at
+# 10/100/500 registered path views (real forms plus vocabulary-hooked
+# decoy services), then the headline form-only query executed — GETs
+# of the discovered composition vs the full-materialization oracle,
+# with a byte-identity check against generator ground truth. Writes
+# BENCH_bindings.json in the current directory; commit it so the
+# trajectory is tracked across PRs. Exits nonzero if any search size
+# finds no rewriting, rows diverge, or the oracle wins the wire.
+bench-bindings:
+	dune exec bench/main.exe -- bindings
+
+bench-all: bench-kernel bench-fetch bench-exec bench-server bench-analyze bench-churn bench-views bench-bindings
 
 # The CI entry point: ./ci.sh (strict gate + full test suite under the
 # ci dune profile).

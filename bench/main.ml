@@ -821,7 +821,8 @@ let mat_peak_rows schema source e =
   let rec go (e : Nalg.expr) =
     match e with
     | Nalg.External _ -> 0
-    | Nalg.Entry _ -> card e
+    | Nalg.Entry _ | Nalg.Call { c_src = None; _ } -> card e
+    | Nalg.Call { c_src = Some src; _ } -> max (go src) (card src + card e)
     | Nalg.Select (_, e1) | Nalg.Project (_, e1) | Nalg.Unnest (e1, _) ->
       max (go e1) (card e1 + card e)
     | Nalg.Join (_, e1, e2) -> max (max (go e1) (go e2)) (card e1 + card e2 + card e)
@@ -2006,6 +2007,126 @@ let views_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Bindings benchmark: the rewriting search and the form-only site     *)
+(* ------------------------------------------------------------------ *)
+
+(* Two questions. (1) How does the equivalent-rewriting search scale
+   with the number of registered path views? The real site has 3; we
+   pad the registry with synthetic decoy services (hooked into the
+   query's vocabulary so the search must consider them, but never able
+   to contribute an output) to 10/100/500 and time the search. (2) On
+   the form-only site, how many GETs does the discovered composition
+   cost against the oracle that materializes every page before
+   answering? Results go to stdout and BENCH_bindings.json; exits
+   nonzero when no rewriting is found, when the executed rows diverge
+   from ground truth, or when the oracle wins the wire. *)
+
+let bindings_bench () =
+  banner "Bindings: rewriting search scaling and the form-only wire";
+  let fs = Sitegen.Formsite.build () in
+  let schema = Sitegen.Formsite.schema in
+  let registry = Sitegen.Formsite.view in
+  let stats = Sitegen.Formsite.stats fs in
+  let sql = Sitegen.Formsite.staff_query "cs" in
+  let q = Sql_parser.parse registry sql in
+  let ms f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  (* --- search scaling ------------------------------------------------ *)
+  let hooks = [ "dept"; "course"; "prof" ] in
+  let real = List.length Sitegen.Formsite.path_views in
+  let sizes = [ 10; 100; 500 ] in
+  let scaling =
+    List.map
+      (fun n ->
+        let cfg =
+          Bindings.add_views Sitegen.Formsite.binding_config
+            (Bindings.decoys ~hooks ~seed:n ~n:(n - real) ())
+        in
+        (* min of 5 runs: the search allocates, so the first run pays
+           the GC's warm-up *)
+        let reports, times =
+          List.split
+            (List.init 5 (fun _ -> ms (fun () -> Bindings.search cfg schema q)))
+        in
+        let report = List.hd reports in
+        let t = List.fold_left min infinity times in
+        ( n, t,
+          report.Bindings.explored,
+          List.length report.Bindings.rewritings,
+          report.Bindings.truncated ))
+      sizes
+  in
+  print_table
+    [ "path views"; "search ms"; "states"; "rewritings"; "truncated" ]
+    (List.map
+       (fun (n, t, ex, rw, tr) ->
+         [ string_of_int n; Fmt.str "%.2f" t; string_of_int ex;
+           string_of_int rw; string_of_bool tr ])
+       scaling);
+  (* --- the wire: discovered composition vs full materialization ------ *)
+  let bindings = Bindings.planner_hook Sitegen.Formsite.binding_config schema in
+  let outcome, plan_ms =
+    ms (fun () -> Planner.plan_sql ~bindings schema stats registry sql)
+  in
+  let result, gets, _ =
+    measure_plan schema (Sitegen.Formsite.site fs) outcome.Planner.best.Planner.expr
+  in
+  let rows =
+    List.map
+      (function
+        | [| a; b |] ->
+          ( Option.value ~default:"?" (Adm.Value.as_text a),
+            Option.value ~default:"?" (Adm.Value.as_text b) )
+        | _ -> ("?", "?"))
+      (Adm.Relation.rows_arrays (Planner.rename_output outcome result))
+  in
+  let expected = Sitegen.Formsite.expected_staff fs ~dept:"cs" in
+  let identical = List.sort compare rows = List.sort compare expected in
+  let oracle = Sitegen.Formsite.oracle_gets fs in
+  Fmt.pr "@.%S@." sql;
+  Fmt.pr "planned in %.2f ms, executed with %d GETs (%d rows, %s)@." plan_ms
+    gets (List.length rows)
+    (if identical then "byte-identical to ground truth" else "ROWS DIVERGED");
+  Fmt.pr "full-materialization oracle: %d GETs (%.1fx the rewriting)@." oracle
+    (float_of_int oracle /. float_of_int (max 1 gets));
+  (* --- JSON + acceptance -------------------------------------------- *)
+  let found_all =
+    List.for_all (fun (_, _, _, rw, tr) -> rw > 0 && not tr) scaling
+  in
+  let oc = open_out "BENCH_bindings.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"query\": %S,\n\
+    \  \"search_scaling\": [\n%s\n  ],\n\
+    \  \"execution\": { \"plan_ms\": %.2f, \"gets\": %d, \"rows\": %d, \
+     \"identical\": %b },\n\
+    \  \"oracle\": { \"gets\": %d },\n\
+    \  \"acceptance\": { \"rewriting_at_every_size\": %b, \
+     \"identical_rows\": %b, \"fewer_gets_than_oracle\": %b }\n\
+     }\n"
+    sql
+    (String.concat ",\n"
+       (List.map
+          (fun (n, t, ex, rw, tr) ->
+            Printf.sprintf
+              "    { \"path_views\": %d, \"search_ms\": %.3f, \
+               \"states_explored\": %d, \"rewritings\": %d, \"truncated\": %b }"
+              n t ex rw tr)
+          scaling))
+    plan_ms gets (List.length rows) identical oracle found_all identical
+    (gets < oracle);
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_bindings.json (%d registry sizes)@."
+    (List.length scaling);
+  if not (found_all && identical && gets < oracle) then begin
+    Fmt.epr "bench-bindings acceptance FAILED@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2032,13 +2153,14 @@ let () =
   | [ "analyze" ] -> analyze_bench ()
   | [ "churn" ] -> churn_bench ()
   | [ "views" ] -> views_bench ()
+  | [ "bindings" ] -> bindings_bench ()
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
         | Some f -> f ()
         | None ->
-          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel, fetch, exec, server, analyze, churn, views)@." name
+          Fmt.epr "unknown experiment %S (have: %s, all, timings, kernel, fetch, exec, server, analyze, churn, views, bindings)@." name
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names

@@ -26,15 +26,23 @@
 open Cmdliner
 open Webviews
 
-type site_kind = University | Bibliography | Catalog
+type site_kind = University | Bibliography | Catalog | Formsite
 
 type loaded = {
   schema : Adm.Schema.t;
   registry : View.registry;
   site : Websim.Site.t;
+  declared_stats : Stats.t option;
+      (* form-only sites cannot be crawled: statistics are declared *)
+  binding_config : Bindings.config option;
+      (* path views + vocabulary of a form-only site: feeds the
+         planner's [?bindings] hook and the E0111 lint *)
 }
 
 let load kind ~depts ~profs ~courses ~seed =
+  let plain schema registry site =
+    { schema; registry; site; declared_stats = None; binding_config = None }
+  in
   match kind with
   | University ->
     let config =
@@ -47,30 +55,54 @@ let load kind ~depts ~profs ~courses ~seed =
       }
     in
     let uni = Sitegen.University.build ~config () in
-    {
-      schema = Sitegen.University.schema;
-      registry = Sitegen.University.view;
-      site = Sitegen.University.site uni;
-    }
+    plain Sitegen.University.schema Sitegen.University.view
+      (Sitegen.University.site uni)
   | Bibliography ->
     (* no hand-written view for this site: derive one automatically *)
     let bib = Sitegen.Bibliography.build () in
-    {
-      schema = Sitegen.Bibliography.schema;
-      registry = View.auto_registry Sitegen.Bibliography.schema;
-      site = Sitegen.Bibliography.site bib;
-    }
+    plain Sitegen.Bibliography.schema
+      (View.auto_registry Sitegen.Bibliography.schema)
+      (Sitegen.Bibliography.site bib)
   | Catalog ->
     let cat = Sitegen.Catalog.build () in
+    plain Sitegen.Catalog.schema Sitegen.Catalog.view (Sitegen.Catalog.site cat)
+  | Formsite ->
+    let config =
+      {
+        Sitegen.Formsite.seed;
+        n_depts = depts;
+        n_profs = profs;
+        n_courses = courses;
+      }
+    in
+    let fs = Sitegen.Formsite.build ~config () in
     {
-      schema = Sitegen.Catalog.schema;
-      registry = Sitegen.Catalog.view;
-      site = Sitegen.Catalog.site cat;
+      schema = Sitegen.Formsite.schema;
+      registry = Sitegen.Formsite.view;
+      site = Sitegen.Formsite.site fs;
+      declared_stats = Some (Sitegen.Formsite.stats fs);
+      binding_config = Some Sitegen.Formsite.binding_config;
     }
 
 let stats_of loaded =
-  let http = Websim.Http.connect loaded.site in
-  Stats.of_instance (Websim.Crawler.crawl loaded.schema http)
+  match loaded.declared_stats with
+  | Some stats -> stats
+  | None ->
+    let http = Websim.Http.connect loaded.site in
+    Stats.of_instance (Websim.Crawler.crawl loaded.schema http)
+
+(* The rewriting-search hook handed to the planner ([?bindings]), and
+   the matching lint for [check]/[analyze]: E0111 when the vocabulary
+   covers a query but no executable composition of forms answers it. *)
+let bindings_of loaded =
+  Option.map
+    (fun c -> Bindings.planner_hook c loaded.schema)
+    loaded.binding_config
+
+let binding_lint loaded q =
+  match loaded.binding_config with
+  | None -> []
+  | Some c -> Bindings.lint c loaded.schema q
 
 (* Materialize the site (own connection) and put the registered views
    behind a view store, so the planner can price them as access
@@ -88,18 +120,26 @@ let site_conv =
     | "university" -> Ok University
     | "bibliography" -> Ok Bibliography
     | "catalog" -> Ok Catalog
-    | s -> Error (`Msg (Fmt.str "unknown site %S (university|bibliography|catalog)" s))
+    | "formsite" -> Ok Formsite
+    | s ->
+      Error
+        (`Msg
+          (Fmt.str "unknown site %S (university|bibliography|catalog|formsite)" s))
   in
   let print ppf = function
     | University -> Fmt.string ppf "university"
     | Bibliography -> Fmt.string ppf "bibliography"
     | Catalog -> Fmt.string ppf "catalog"
+    | Formsite -> Fmt.string ppf "formsite"
   in
   Arg.conv (parse, print)
 
 let site_arg =
   Arg.(value & opt site_conv University & info [ "s"; "site" ] ~docv:"SITE"
-         ~doc:"Generated site to use: $(b,university), $(b,bibliography) or $(b,catalog).")
+         ~doc:"Generated site to use: $(b,university), $(b,bibliography), \
+               $(b,catalog), or $(b,formsite) (form-only: every data page \
+               behind a parameterized entry point, answered through the \
+               binding-pattern rewriting search).")
 
 let depts_arg =
   Arg.(value & opt int 3 & info [ "depts" ] ~docv:"N" ~doc:"Number of departments.")
@@ -168,7 +208,10 @@ let plan_cmd =
     if loaded.registry = [] then Fmt.epr "this site has no external view@."
     else begin
       let stats = stats_of loaded in
-      let outcome = Planner.plan_sql ?cap loaded.schema stats loaded.registry sql in
+      let outcome =
+        Planner.plan_sql ?cap ?bindings:(bindings_of loaded) loaded.schema stats
+          loaded.registry sql
+      in
       if dot then Fmt.pr "%s@." (Explain.to_dot outcome.Planner.best.Planner.expr)
       else begin
         Fmt.pr "%a@." Explain.pp_outcome outcome;
@@ -208,7 +251,7 @@ let explain_cmd =
     let outcome =
       Planner.plan_sql ?cap
         ?views:(Option.map Viewstore.context vs)
-        loaded.schema stats loaded.registry sql
+        ?bindings:(bindings_of loaded) loaded.schema stats loaded.registry sql
     in
     let best = outcome.Planner.best.Planner.expr in
     Fmt.pr "%a@.@." Explain.pp_outcome outcome;
@@ -270,7 +313,8 @@ let query_cmd =
       Planner.run ?cap
         ?views:(Option.map Viewstore.context vs)
         ?exec_views:(Option.map Viewstore.answerer vs)
-        loaded.schema stats loaded.registry source sql
+        ?bindings:(bindings_of loaded) loaded.schema stats loaded.registry
+        source sql
     in
     Fmt.pr "%a@." Explain.pp_outcome outcome;
     Fmt.pr "plan (cost %.2f):@.%a@.@." outcome.Planner.best.Planner.cost Nalg.pp_plan
@@ -308,7 +352,10 @@ let run_cmd =
     in
     let config = Websim.Fetcher.config ~window ~retries () in
     let fetcher = Websim.Fetcher.create ~config ?netmodel http in
-    let outcome = Planner.plan_sql ?cap loaded.schema stats loaded.registry sql in
+    let outcome =
+      Planner.plan_sql ?cap ?bindings:(bindings_of loaded) loaded.schema stats
+        loaded.registry sql
+    in
     let best = outcome.Planner.best.Planner.expr in
     Fmt.pr "plan (cost %.2f, predicted %.0f ms at window %d):@.%a@.@."
       outcome.Planner.best.Planner.cost
@@ -366,6 +413,11 @@ let run_cmd =
 
 let matview_cmd =
   let run sql loaded =
+    if loaded.declared_stats <> None then begin
+      (* materialization crawls; a form-only site has nothing to crawl *)
+      Fmt.epr "this site cannot be crawled (form-only); use query/run instead@.";
+      exit 2
+    end;
     let stats = stats_of loaded in
     let http = Websim.Http.connect loaded.site in
     let mv = Matview.materialize loaded.schema http in
@@ -461,27 +513,25 @@ let check_cmd =
       List.concat_map
         (fun sql ->
           let lint = Typecheck.lint_sql loaded.schema loaded.registry sql in
-          let semantic =
-            if Diagnostic.has_errors lint || loaded.registry = [] then []
+          let semantic, bindings_lint =
+            if Diagnostic.has_errors lint || loaded.registry = [] then ([], [])
             else
-              let _, ds =
-                Contain.analyze_query loaded.registry
-                  (Sql_parser.parse loaded.registry sql)
-              in
-              ds
+              let q = Sql_parser.parse loaded.registry sql in
+              let _, ds = Contain.analyze_query loaded.registry q in
+              (ds, binding_lint loaded q)
           in
           let planner =
             if Diagnostic.has_errors lint || loaded.registry = [] then []
             else
               match
-                Planner.plan_sql ?cap loaded.schema (Lazy.force stats)
-                  loaded.registry sql
+                Planner.plan_sql ?cap ?bindings:(bindings_of loaded)
+                  loaded.schema (Lazy.force stats) loaded.registry sql
               with
               | outcome -> outcome.Planner.diagnostics
               | exception Invalid_argument msg ->
                 [ Diagnostic.error ~code:"E0309" "planning failed: %s" msg ]
           in
-          let ds = Diagnostic.dedup (lint @ semantic @ planner) in
+          let ds = Diagnostic.dedup (lint @ semantic @ bindings_lint @ planner) in
           section (Fmt.str "query %S" sql) ds;
           ds)
         sqls
@@ -552,11 +602,16 @@ let analyze_cmd =
           else
             let q = Sql_parser.parse loaded.registry sql in
             let q_min, semantic = Contain.analyze_query loaded.registry q in
+            (* binding-violation lint (E0111) participates in the
+               per-query diagnostics and therefore in the exit-code
+               accounting below: errors -> 2, JSON "errors" included *)
+            let bindings_lint = binding_lint loaded q in
             let planned =
               match
                 Planner.plan_sql ?cap
                   ?views:(Option.map Viewstore.context vs)
-                  loaded.schema (Lazy.force stats) loaded.registry sql
+                  ?bindings:(bindings_of loaded) loaded.schema
+                  (Lazy.force stats) loaded.registry sql
               with
               | outcome -> Some outcome
               | exception Invalid_argument _ -> None
@@ -567,7 +622,7 @@ let analyze_cmd =
               List.map (fun (s : Conjunctive.source) -> s.Conjunctive.rel)
                 q.Conjunctive.from,
               Some (q_min, sources_before, sources_after),
-              Diagnostic.dedup (lint @ semantic),
+              Diagnostic.dedup (lint @ semantic @ bindings_lint),
               planned ))
         sqls
     in
@@ -681,7 +736,10 @@ let analyze_cmd =
           registry (via the filter-tree index), dead-view lint against the \
           given workload ($(b,W0606): views no query can ever use), then per \
           query satisfiability ($(b,E0601)), redundant-occurrence \
-          minimization ($(b,W0602)), trivial answerability ($(b,W0604)), and \
+          minimization ($(b,W0602)), trivial answerability ($(b,W0604)), \
+          binding-pattern violations on form-only sites ($(b,E0111): the \
+          vocabulary covers the query but no executable composition of \
+          parameterized entry points answers it), and \
           the planner's equivalence-keyed candidate deduplication. With \
           $(b,--views) registered views compete as access paths and chosen \
           substitutions are reported (JSON: per-query \
@@ -768,6 +826,7 @@ let templates_for = function
   | University -> Server.Workload.university_templates
   | Bibliography -> Server.Workload.bibliography_templates
   | Catalog -> Server.Workload.catalog_templates
+  | Formsite -> Server.Workload.formsite_templates
 
 let run_churn ~rate ~churn_seed ~budget ~max_age ~maintenance ~query_check
     ~entries ~concurrency ~quantum ~domains ~json ~fail_on_violation loaded =
@@ -787,8 +846,8 @@ let run_churn ~rate ~churn_seed ~budget ~max_age ~maintenance ~query_check
   let http = Websim.Http.connect loaded.site in
   let sched = Server.Sched.config ~concurrency ~quantum ~domains () in
   let report =
-    Churn.Runtime.run ~sched ?pool cfg loaded.schema stats loaded.registry http
-      entries
+    Churn.Runtime.run ~sched ?pool ?bindings:(bindings_of loaded) cfg
+      loaded.schema stats loaded.registry http entries
   in
   Option.iter Server.Pool.shutdown pool;
   if json then Fmt.pr "%s@." (json_of_churn_report report)
@@ -946,7 +1005,10 @@ let serve_cmd =
       | None ->
     begin
       let stats = stats_of loaded in
-      let specs = Server.Sched.plan_workload loaded.schema stats loaded.registry entries in
+      let specs =
+        Server.Sched.plan_workload ?bindings:(bindings_of loaded) loaded.schema
+          stats loaded.registry entries
+      in
       let netmodel =
         (* deadlines are measured on the simulated clock, which only
            advances under a netmodel: enable one whenever they matter *)
@@ -1122,7 +1184,7 @@ let serve_cmd =
 
 let main_cmd =
   let doc = "Efficient queries over web views (EDBT 1998 reproduction)" in
-  Cmd.group (Cmd.info "webviews" ~doc ~version:"0.7.0")
+  Cmd.group (Cmd.info "webviews" ~doc ~version:"0.8.0")
     [
       scheme_cmd; crawl_cmd; plan_cmd; explain_cmd; query_cmd; run_cmd;
       serve_cmd; churn_cmd; matview_cmd; navigations_cmd; discover_cmd;

@@ -14,10 +14,21 @@ type attr_decl = {
          rule 3 (dropping an unneeded unnest cannot lose rows) *)
 }
 
+(* A binding-pattern parameter of a parameterized entry point: a form
+   field or service-call input that must be *bound* before any page of
+   the scheme can be fetched (the bound adornment of the
+   Rajaraman-style binding pattern; the page's own attributes are the
+   free positions). *)
+type param = { p_name : string; p_ty : Webtype.t }
+
 type t = {
   name : string;
   attrs : attr_decl list;
   entry_url : string option; (* Some url iff this page-scheme is an entry point *)
+  params : param list;
+      (* non-empty iff the scheme is a parameterized entry (form /
+         service endpoint): [entry_url] is then the form's base URL and
+         instances live at templated URLs [base?p1=v1&...] *)
 }
 
 let url_attr = "URL"
@@ -25,18 +36,85 @@ let url_attr = "URL"
 let attr ?(optional = false) ?(nonempty = false) name ty =
   { name; ty; optional; nonempty }
 
-let make ?entry_url name (attrs : attr_decl list) =
+let param name ty = { p_name = name; p_ty = ty }
+
+let make ?entry_url ?(params = []) name (attrs : attr_decl list) =
   List.iter
     (fun ({ name = a; _ } : attr_decl) ->
       if String.equal a url_attr then
         invalid_arg "Page_scheme.make: URL is implicit and reserved")
     attrs;
-  { name; attrs; entry_url }
+  (match params with
+  | [] -> ()
+  | _ :: _ ->
+    if entry_url = None then
+      invalid_arg
+        "Page_scheme.make: parameterized scheme needs a base entry_url";
+    List.iter
+      (fun { p_name; p_ty } ->
+        if String.equal p_name url_attr then
+          invalid_arg "Page_scheme.make: URL cannot be a parameter";
+        match p_ty with
+        | Webtype.Text | Webtype.Int -> ()
+        | Webtype.Image | Webtype.Link _ | Webtype.List _ ->
+          invalid_arg
+            (Fmt.str "Page_scheme.make: parameter %s must be Text or Int"
+               p_name))
+      params;
+    let names = List.map (fun p -> p.p_name) params in
+    if List.length (List.sort_uniq String.compare names) <> List.length names
+    then invalid_arg "Page_scheme.make: duplicate parameter name");
+  { name; attrs; entry_url; params }
 
 let name ps = ps.name
 let attrs ps = ps.attrs
 let entry_url ps = ps.entry_url
-let is_entry_point ps = Option.is_some ps.entry_url
+let params ps = ps.params
+let is_parameterized ps = ps.params <> []
+
+(* A crawlable entry point has a known URL *and* no required inputs: a
+   parameterized scheme cannot seed a crawl — nothing can be fetched
+   until every parameter is bound. *)
+let is_entry_point ps = Option.is_some ps.entry_url && ps.params = []
+
+let find_param ps a =
+  List.find_opt (fun (p : param) -> String.equal p.p_name a) ps.params
+
+(* Query-string encoding shared by the site generator (publishing) and
+   the executor (fetching): both sides must produce byte-identical URLs
+   for the same bound values. RFC 3986 unreserved characters pass
+   through; everything else is percent-encoded. *)
+let encode_component s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' | '.' | '~' ->
+        Buffer.add_char buf c
+      | _ -> Buffer.add_string buf (Fmt.str "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+(* The templated URL of the page reached by binding every parameter:
+   [base?p1=v1&p2=v2] with parameters in declaration order, so the URL
+   is a deterministic function of the bound values. [None] when the
+   scheme is not parameterized or some parameter is missing from
+   [bindings]. *)
+let bound_url ps (bindings : (string * string) list) =
+  match ps.entry_url, ps.params with
+  | None, _ | _, [] -> None
+  | Some base, params ->
+    let rec build acc = function
+      | [] -> Some (List.rev acc)
+      | p :: tl -> (
+        match List.assoc_opt p.p_name bindings with
+        | None -> None
+        | Some v ->
+          build ((encode_component p.p_name ^ "=" ^ encode_component v) :: acc) tl)
+    in
+    Option.map
+      (fun parts -> base ^ "?" ^ String.concat "&" parts)
+      (build [] params)
 
 let find_attr ps a =
   List.find_opt (fun (d : attr_decl) -> String.equal d.name a) ps.attrs
@@ -110,6 +188,14 @@ let validate_tuple ps (tuple : Value.tuple) =
     tuple;
   List.rev !errors
 
+(* Binding adornment in the Rajaraman notation: one letter per
+   position, [b]ound for parameters, [f]ree for attributes — e.g. a
+   dept-search form with one parameter and two outputs prints "bff". *)
+let adornment ps =
+  String.concat ""
+    (List.map (fun (_ : param) -> "b") ps.params
+    @ List.map (fun (_ : attr_decl) -> "f") ps.attrs)
+
 let pp ppf ps =
   let pp_attr ppf { name = a; ty; optional; nonempty } =
     Fmt.pf ppf "%s%s%s : %a" a
@@ -117,8 +203,18 @@ let pp ppf ps =
       (if nonempty then "+" else "")
       Webtype.pp ty
   in
-  Fmt.pf ppf "@[<v 2>%s(URL%a)%a@]" ps.name
+  let pp_param ppf { p_name; p_ty } =
+    Fmt.pf ppf "%s : %a" p_name Webtype.pp p_ty
+  in
+  Fmt.pf ppf "@[<v 2>%s%a(URL%a)%a@]" ps.name
+    (fun ppf -> function
+      | [] -> ()
+      | params ->
+        Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ",@ ") pp_param) params)
+    ps.params
     (Fmt.list (fun ppf a -> Fmt.pf ppf ",@ %a" pp_attr a))
     ps.attrs
-    (Fmt.option (fun ppf u -> Fmt.pf ppf "@ entry point: %s" u))
+    (Fmt.option (fun ppf u ->
+         if ps.params = [] then Fmt.pf ppf "@ entry point: %s" u
+         else Fmt.pf ppf "@ form endpoint: %s?..." u))
     ps.entry_url

@@ -64,7 +64,7 @@ type report = {
 let plan_schemes expr =
   List.sort_uniq String.compare (List.map snd (Webviews.Nalg.alias_env expr))
 
-let run ?(sched = Server.Sched.default_config) ?pool (cfg : config)
+let run ?(sched = Server.Sched.default_config) ?pool ?bindings (cfg : config)
     (schema : Adm.Schema.t) (stats : Webviews.Stats.t)
     (registry : Webviews.View.registry) (http : Websim.Http.t)
     (workload : Server.Workload.entry list) : report =
@@ -235,7 +235,7 @@ let run ?(sched = Server.Sched.default_config) ?pool (cfg : config)
   in
   let probe ~qid = Some (Sla.to_freshness (obs_for qid)) in
   let specs =
-    Server.Sched.plan_workload ?pool
+    Server.Sched.plan_workload ?pool ?bindings
       ?views:
         (if cfg.policy = Incremental then Some (Webviews.Viewstore.context vs)
          else None)

@@ -72,7 +72,9 @@ type report = {
 }
 
 val run :
-  ?sched:Server.Sched.config -> ?pool:Server.Pool.t -> config -> Adm.Schema.t ->
+  ?sched:Server.Sched.config -> ?pool:Server.Pool.t ->
+  ?bindings:(Webviews.Conjunctive.t -> Webviews.Nalg.expr list) ->
+  config -> Adm.Schema.t ->
   Webviews.Stats.t -> Webviews.View.registry -> Websim.Http.t ->
   Server.Workload.entry list -> report
 (** Materialize the store over [http] (through a fresh cache-less

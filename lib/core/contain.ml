@@ -353,6 +353,11 @@ let build (e : Nalg.expr) : tableau =
       go src;
       let dst = add_occ Follow_occ scheme alias in
       navs_raw := (link, dst) :: !navs_raw
+    | Nalg.Call _ ->
+      (* parameterized calls have no tableau form yet: their join is
+         against form *inputs*, not page attributes, so containment
+         falls back to syntactic identity ([of_expr] → [None]) *)
+      raise Unsupported
   in
   go e;
   let aliases = List.rev !alias_list in

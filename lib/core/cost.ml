@@ -90,6 +90,25 @@ let join_selectivity stats root keys =
       acc /. float_of_int (max 1 (max ca cb)))
     1.0 keys
 
+(* Distinct argument combinations a parameterized call issues: one
+   templated GET per distinct tuple of [Arg_attr] values drawn from
+   the source (constant-only calls fetch a single page). The product
+   of per-attribute distinct counts, capped by the source cardinality
+   — the same shape as the Follow estimate. *)
+let call_navigations stats root (c : Nalg.call) src_card =
+  let attr_args =
+    List.filter_map
+      (function _, Nalg.Arg_attr a -> Some a | _, Nalg.Arg_const _ -> None)
+      c.Nalg.c_args
+  in
+  match attr_args with
+  | [] -> 1.0
+  | args ->
+    let product =
+      List.fold_left (fun acc a -> acc *. distinct_in stats root a src_card) 1.0 args
+    in
+    Float.max 1.0 (Float.min src_card product)
+
 let rec estimate ?(views = no_views) (schema : Adm.Schema.t) (stats : Stats.t)
     (root : Nalg.expr) (e : Nalg.expr) : estimate =
   let estimate = estimate ~views in
@@ -143,6 +162,14 @@ let rec estimate ?(views = no_views) (schema : Adm.Schema.t) (stats : Stats.t)
     let { cost; card } = estimate schema stats root src in
     let navigations = distinct_in stats root link card in
     { cost = cost +. navigations; card }
+  | Nalg.Call { c_src = None; _ } ->
+    (* a constant-bound call is a single templated GET yielding the
+       one page its arguments select, like an entry point *)
+    { cost = 1.0; card = 1.0 }
+  | Nalg.Call ({ c_src = Some src; _ } as c) ->
+    let { cost; card } = estimate schema stats root src in
+    let navigations = call_navigations stats root c card in
+    { cost = cost +. navigations; card }
 
 let cost ?views schema stats e = (estimate ?views schema stats e e).cost
 let cardinality ?views schema stats e = (estimate ?views schema stats e e).card
@@ -170,6 +197,12 @@ let rec byte_estimate ?(views = no_views) (schema : Adm.Schema.t)
     let { card; _ } = estimate ~views schema stats root src in
     let navigations = distinct_in stats root link card in
     byte_estimate schema stats root src +. (navigations *. Stats.page_bytes stats scheme)
+  | Nalg.Call { c_src = None; c_scheme; _ } -> Stats.page_bytes stats c_scheme
+  | Nalg.Call ({ c_src = Some src; c_scheme; _ } as c) ->
+    let { card; _ } = estimate ~views schema stats root src in
+    let navigations = call_navigations stats root c card in
+    byte_estimate schema stats root src
+    +. (navigations *. Stats.page_bytes stats c_scheme)
 
 let byte_cost ?views schema stats e = byte_estimate ?views schema stats e e
 
@@ -187,6 +220,9 @@ let lower ?(views = no_views) ?window (schema : Adm.Schema.t) (stats : Stats.t)
     | Nalg.Entry _ -> 1.0
     | Nalg.Follow { src; link; _ } ->
       distinct_in stats e link (estimate ~views schema stats e src).card
+    | Nalg.Call { c_src = None; _ } -> 1.0
+    | Nalg.Call ({ c_src = Some src; _ } as c) ->
+      call_navigations stats e c (estimate ~views schema stats e src).card
     | Nalg.External { name; _ } -> (
       (* expected light connections: every stale page costs one HEAD *)
       match views.view name with
@@ -231,6 +267,12 @@ let rec elapsed_aux ~views (schema : Adm.Schema.t) (stats : Stats.t)
     let navigations = distinct_in stats root link card in
     elapsed_aux schema stats root ~window ~get_ms ~head_ms src
     +. (rounds ~window navigations *. get_ms)
+  | Nalg.Call { c_src = None; _ } -> get_ms
+  | Nalg.Call ({ c_src = Some src; _ } as c) ->
+    let { card; _ } = estimate ~views schema stats root src in
+    let navigations = call_navigations stats root c card in
+    elapsed_aux schema stats root ~window ~get_ms ~head_ms src
+    +. (rounds ~window navigations *. get_ms)
 
 let elapsed_estimate ?(views = no_views) ?(window = 1) ?(get_ms = 40.0) ?head_ms
     schema stats e =
@@ -246,9 +288,11 @@ let elapsed_estimate ?(views = no_views) ?(window = 1) ?(get_ms = 40.0) ?head_ms
         | Physplan.View_scan _, Some { est_pages; _ } ->
           acc +. (rounds ~window est_pages *. head_ms)
         | Physplan.View_scan _, None -> acc +. head_ms
-        | Physplan.Follow_links _, Some { est_pages; _ } ->
+        | Physplan.Follow_links _, Some { est_pages; _ }
+        | Physplan.Call_fetch _, Some { est_pages; _ } ->
           acc +. (rounds ~window est_pages *. get_ms)
-        | Physplan.Follow_links _, None -> acc +. get_ms
+        | Physplan.Follow_links _, None | Physplan.Call_fetch _, None ->
+          acc +. get_ms
         | (Physplan.Filter _ | Physplan.Project _ | Physplan.Hash_join _
           | Physplan.Stream_unnest _), _ -> acc)
       0.0 plan

@@ -118,6 +118,76 @@ let eval_legacy (schema : Adm.Schema.t) (source : source) (e : Nalg.expr) :
       Adm.Relation.equi_join
         [ (link, alias ^ "." ^ Adm.Page_scheme.url_attr) ]
         src_rel target
+    | Nalg.Call { c_src; c_scheme; c_alias; c_args } -> (
+      let ps = Adm.Schema.find_scheme_exn schema c_scheme in
+      match c_src with
+      | None ->
+        (* all-constant call: one templated GET, a single-page relation *)
+        let bindings =
+          List.map
+            (fun (p, arg) ->
+              match arg with
+              | Nalg.Arg_const v -> (p, v)
+              | Nalg.Arg_attr a ->
+                raise
+                  (Not_computable
+                     (Fmt.str "call argument %s := %s has no source relation" p a)))
+            c_args
+        in
+        (match Adm.Page_scheme.bound_url ps bindings with
+        | None ->
+          raise
+            (Not_computable
+               (Fmt.str "call to %s does not bind every parameter" c_scheme))
+        | Some url ->
+          pages_relation schema source ~scheme:c_scheme ~alias:c_alias [ url ])
+      | Some src ->
+        (* per source row: compute the templated URL from its bound
+           arguments, fetch each distinct URL once, join row and page *)
+        let src_rel = go src in
+        let src_attrs = Adm.Relation.attrs src_rel in
+        let url_of row =
+          let tuple = List.combine src_attrs (Array.to_list row) in
+          let rec build acc = function
+            | [] -> Adm.Page_scheme.bound_url ps (List.rev acc)
+            | (p, Nalg.Arg_const v) :: tl -> build ((p, v) :: acc) tl
+            | (p, Nalg.Arg_attr a) :: tl -> (
+              match Option.bind (Adm.Value.find tuple a) Exec.param_string with
+              | Some s -> build ((p, s) :: acc) tl
+              | None -> None)
+          in
+          build [] c_args
+        in
+        let src_rows = Adm.Relation.rows_arrays src_rel in
+        let urls =
+          List.filter_map url_of src_rows |> List.sort_uniq String.compare
+        in
+        let target = pages_relation schema source ~scheme:c_scheme ~alias:c_alias urls in
+        let target_attrs = Adm.Relation.attrs target in
+        let url_attr = c_alias ^ "." ^ Adm.Page_scheme.url_attr in
+        let url_off =
+          match Adm.Relation.offset_opt target url_attr with
+          | Some i -> i
+          | None -> raise (Not_computable "call target lacks URL attribute")
+        in
+        let by_url = Hashtbl.create 64 in
+        List.iter
+          (fun trow ->
+            match Adm.Value.as_link trow.(url_off) with
+            | Some u -> Hashtbl.replace by_url u trow
+            | None -> ())
+          (Adm.Relation.rows_arrays target);
+        let out_rows =
+          List.filter_map
+            (fun row ->
+              match url_of row with
+              | None -> None
+              | Some url ->
+                Option.map (fun trow -> Array.append row trow)
+                  (Hashtbl.find_opt by_url url))
+            src_rows
+        in
+        Adm.Relation.of_arrays (src_attrs @ target_attrs) out_rows)
   in
   go e
 

@@ -183,6 +183,18 @@ let page_row_builder names =
     go 0 names tuple;
     row
 
+(* Render a scalar value as a form-input string, the executor's side
+   of the templated-URL contract: sitegen publishes pages under
+   [Page_scheme.bound_url] over the ground truth's own strings, so the
+   rendering must be the identity on text. *)
+let param_string (v : Adm.Value.t) : string option =
+  match Adm.Value.as_text v with
+  | Some s -> Some s
+  | None -> (
+    match Adm.Value.as_int v with
+    | Some i -> Some (string_of_int i)
+    | None -> Adm.Value.as_link v)
+
 let pages_relation schema source ~scheme ~alias urls =
   let names = scheme_attr_names schema scheme in
   let row_of_tuple = page_row_builder names in
@@ -574,6 +586,165 @@ let compile ?views (schema : Adm.Schema.t) (source : source)
                     match Hashtbl.find_opt pages url with
                     | Some (Some target) ->
                       let joined = combine w1 keep2 row target in
+                      if pred joined then Some joined else None
+                    | Some None | None -> None))
+                group
+            in
+            match out with [||] -> next () | _ -> Some out
+          end
+        in
+        { attrs = out_attrs; next }
+      | Physplan.Call_fetch { src = None; scheme; alias; args; filter } ->
+        (* all-constant call: a single templated GET, like Scan *)
+        let ps = Adm.Schema.find_scheme_exn schema scheme in
+        let names = scheme_attr_names schema scheme in
+        let attrs = List.map (fun n -> alias ^ "." ^ n) names in
+        let build = page_row_builder names in
+        let tbl = index_of attrs in
+        let pred = Pred.compile ~offset:(Hashtbl.find_opt tbl) filter in
+        let bindings =
+          List.map
+            (fun (p, arg) ->
+              match arg with
+              | Nalg.Arg_const v -> (p, v)
+              | Nalg.Arg_attr a ->
+                raise
+                  (Physplan.Not_computable
+                     (Fmt.str "call argument %s := %s has no source relation" p
+                        a)))
+            args
+        in
+        let url =
+          match Adm.Page_scheme.bound_url ps bindings with
+          | Some url -> url
+          | None ->
+            raise
+              (Physplan.Not_computable
+                 (Fmt.str "call to %s does not bind every parameter" scheme))
+        in
+        let spent = ref false in
+        let next () =
+          if !spent then None
+          else begin
+            spent := true;
+            source.prefetch ~scheme [ url ];
+            m.pages <- m.pages + 1;
+            match source.fetch ~scheme ~url with
+            | None -> None
+            | Some tuple ->
+              let row = build tuple in
+              if pred row then Some [| row |] else None
+          end
+        in
+        { attrs; next }
+      | Physplan.Call_fetch { src = Some src; scheme; alias; args; filter } ->
+        (* parameterized fetch: like Follow_links, but the URL of each
+           source row is computed from its bound arguments instead of
+           read off a link attribute *)
+        let src_c = go src in
+        let ps = Adm.Schema.find_scheme_exn schema scheme in
+        let names = scheme_attr_names schema scheme in
+        let target_attrs = List.map (fun n -> alias ^ "." ^ n) names in
+        let build_target = page_row_builder names in
+        let stbl = index_of src_c.attrs in
+        let compiled_args =
+          List.map
+            (fun (p, arg) ->
+              match arg with
+              | Nalg.Arg_const v -> (p, `Const v)
+              | Nalg.Arg_attr a ->
+                (p, `Off (offset_exn "call_fetch" src_c.attrs stbl a)))
+            args
+        in
+        let url_of row =
+          let rec build acc = function
+            | [] -> Adm.Page_scheme.bound_url ps (List.rev acc)
+            | (p, `Const v) :: tl -> build ((p, v) :: acc) tl
+            | (p, `Off i) :: tl -> (
+              match param_string row.(i) with
+              | Some s -> build ((p, s) :: acc) tl
+              | None -> None)
+          in
+          build [] compiled_args
+        in
+        let w1 = List.length src_c.attrs in
+        let wt = List.length target_attrs in
+        let out_attrs = src_c.attrs @ target_attrs in
+        let otbl = index_of out_attrs in
+        let pred = Pred.compile ~offset:(Hashtbl.find_opt otbl) filter in
+        (* one URL table per call operator: each distinct argument
+           combination is fetched at most once, mirroring the
+           distinct-access cost model *)
+        let pages : (string, Adm.Relation.row option) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        let pending : Adm.Relation.row Queue.t = Queue.create () in
+        let src_done = ref false in
+        let refill () =
+          while Queue.is_empty pending && not !src_done do
+            match src_c.next () with
+            | None -> src_done := true
+            | Some batch ->
+              Array.iter (fun r -> Queue.add r pending) batch;
+              let q = Queue.length pending in
+              if q > metrics.peak_queue_rows then metrics.peak_queue_rows <- q
+          done
+        in
+        let take_group () =
+          let k = min window (Queue.length pending) in
+          let g = Array.make k (Queue.peek pending) in
+          for i = 0 to k - 1 do
+            g.(i) <- Queue.pop pending
+          done;
+          g
+        in
+        let combine row target =
+          let out = Array.make (w1 + wt) Adm.Value.Null in
+          Array.blit row 0 out 0 w1;
+          Array.blit target 0 out w1 wt;
+          out
+        in
+        let rec next () =
+          refill ();
+          if Queue.is_empty pending then None
+          else begin
+            let group = take_group () in
+            let fresh = Hashtbl.create 16 in
+            let want =
+              let acc = ref [] in
+              Array.iter
+                (fun row ->
+                  match url_of row with
+                  | Some url
+                    when (not (Hashtbl.mem pages url))
+                         && not (Hashtbl.mem fresh url) ->
+                    Hashtbl.add fresh url ();
+                    acc := url :: !acc
+                  | Some _ | None -> ())
+                group;
+              List.rev !acc
+            in
+            if want <> [] then begin
+              source.prefetch ~scheme want;
+              List.iter
+                (fun url ->
+                  let target =
+                    Option.map build_target (source.fetch ~scheme ~url)
+                  in
+                  Hashtbl.add pages url target;
+                  m.pages <- m.pages + 1;
+                  metrics.state_rows <- metrics.state_rows + 1)
+                want
+            end;
+            let out =
+              afilter_map
+                (fun row ->
+                  match url_of row with
+                  | None -> None
+                  | Some url -> (
+                    match Hashtbl.find_opt pages url with
+                    | Some (Some target) ->
+                      let joined = combine row target in
                       if pred joined then Some joined else None
                     | Some None | None -> None))
                 group

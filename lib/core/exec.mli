@@ -127,3 +127,8 @@ val pages_relation :
   Adm.Relation.t
 (** The page relation of a URL set, attributes qualified by [alias].
     URLs whose page is gone are skipped (dangling links tolerated). *)
+
+val param_string : Adm.Value.t -> string option
+(** Render a scalar value as a form-input string for a templated call
+    URL (text and links verbatim, ints in decimal); [None] for nulls,
+    booleans and nested rows. *)

@@ -9,15 +9,28 @@ let pp_annotated ?(views = Cost.no_views) (schema : Adm.Schema.t)
     let pad = String.make indent ' ' in
     let { Cost.cost; card } = est e in
     let note = Fmt.str "  {card≈%.1f, cost=%.1f}" card cost in
+    let adorned scheme =
+      (* binding adornment of the page-scheme when it is parameterized:
+         DeptProfsPage^bff reads "first input bound, outputs free" *)
+      match Adm.Schema.find_scheme schema scheme with
+      | Some ps when Adm.Page_scheme.is_parameterized ps ->
+        Fmt.str "%s^%s" scheme (Adm.Page_scheme.adornment ps)
+      | Some _ | None -> scheme
+    in
     match (e : Nalg.expr) with
     | Nalg.Entry { scheme; alias } ->
-      Fmt.pf ppf "%s%s%s%s@," pad scheme
+      Fmt.pf ppf "%s%s%s%s@," pad (adorned scheme)
         (if String.equal scheme alias then "" else " as " ^ alias)
         note
     | Nalg.External { name; _ } -> (
       match views.Cost.view name with
       | Some _ -> Fmt.pf ppf "%sview-scan %s%s@," pad name note
       | None -> Fmt.pf ppf "%sext:%s (not computable)@," pad name)
+    | Nalg.Call { c_src; c_scheme; c_alias; c_args } -> (
+      Fmt.pf ppf "%s⇒ %s [%a]%s%s@," pad (adorned c_scheme) Nalg.pp_args c_args
+        (if String.equal c_scheme c_alias then "" else " as " ^ c_alias)
+        note;
+      match c_src with None -> () | Some src -> go (indent + 2) ppf src)
     | Nalg.Select (p, e1) ->
       Fmt.pf ppf "%sσ %a%s@,%a" pad Pred.pp p note (go (indent + 2)) e1
     | Nalg.Project (attrs, e1) ->
@@ -73,6 +86,8 @@ let pp_physical ?metrics () ppf (plan : Physplan.plan) =
     | Physplan.Project { input; _ }
     | Physplan.Stream_unnest { input; _ } -> go (indent + 2) ppf input
     | Physplan.Follow_links { src; _ } -> go (indent + 2) ppf src
+    | Physplan.Call_fetch { src = None; _ } -> ()
+    | Physplan.Call_fetch { src = Some src; _ } -> go (indent + 2) ppf src
     | Physplan.Hash_join { left; right; _ } ->
       go (indent + 2) ppf left;
       go (indent + 2) ppf right
@@ -123,7 +138,10 @@ let to_dot (root : Nalg.expr) : string =
       edge id (walk e1)
     | Nalg.Follow { src; link; scheme; _ } ->
       node id (Fmt.str "→ %s via %s" scheme link) "box";
-      edge id (walk src));
+      edge id (walk src)
+    | Nalg.Call { c_src; c_scheme; c_args; _ } -> (
+      node id (Fmt.str "⇒ %s [%s]" c_scheme (Fmt.str "%a" Nalg.pp_args c_args)) "box";
+      match c_src with None -> () | Some src -> edge id (walk src)));
     id
   in
   Buffer.add_string buf "digraph plan {\n  rankdir=BT;\n";
@@ -148,8 +166,9 @@ let locate (root : Nalg.expr) (path : string list) : Nalg.expr option =
       | "join.right", Nalg.Join (_, _, e2) -> go e2 rest
       | "unnest", Nalg.Unnest (e1, _) -> go e1 rest
       | "follow", Nalg.Follow { src; _ } -> go src rest
+      | "call", Nalg.Call { c_src = Some src; _ } -> go src rest
       | _, (Nalg.Entry _ | Nalg.External _ | Nalg.Select _ | Nalg.Project _
-           | Nalg.Join _ | Nalg.Unnest _ | Nalg.Follow _) ->
+           | Nalg.Join _ | Nalg.Unnest _ | Nalg.Follow _ | Nalg.Call _) ->
         None)
   in
   go root path
@@ -168,6 +187,8 @@ let node_label (e : Nalg.expr) =
       (String.concat ", " (List.map (fun (a, b) -> Fmt.str "%s=%s" a b) keys))
   | Nalg.Unnest (_, a) -> Fmt.str "◦ %s" a
   | Nalg.Follow { link; scheme; _ } -> Fmt.str "→ %s via %s" scheme link
+  | Nalg.Call { c_scheme; c_args; _ } ->
+    Fmt.str "⇒ %s [%s]" c_scheme (Fmt.str "%a" Nalg.pp_args c_args)
 
 (* A diagnostic with its location resolved against the plan it was
    reported on: "error[E0104] at select/unnest (◦ ProfPage.Rank): …" *)

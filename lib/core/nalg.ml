@@ -24,6 +24,9 @@ type expr =
       (* equi-join on (left attr, right attr) pairs *)
   | Unnest of expr * string (* R ◦ L, with L a full attribute name *)
   | Follow of follow
+  | Call of call
+      (* parameterized-entry access R ⇒[args] P: fetch pages of a
+         form/service page-scheme by binding every declared parameter *)
 
 and follow = {
   src : expr;
@@ -31,6 +34,22 @@ and follow = {
   scheme : string; (* target page-scheme *)
   alias : string; (* alias qualifying the target's attributes *)
 }
+
+(* A call through a binding pattern. With [c_src = Some r], one
+   templated GET is issued per distinct argument combination drawn
+   from the rows of [r] ([Arg_attr] feeds an upstream column into the
+   parameter) and the reached page joins its source row, like Follow.
+   With [c_src = None] every argument is a constant and the call is a
+   single-page relation, like an entry point. Calls whose URL resolves
+   to no page contribute no rows. *)
+and call = {
+  c_src : expr option;
+  c_scheme : string; (* target (parameterized) page-scheme *)
+  c_alias : string; (* alias qualifying the target's attributes *)
+  c_args : (string * arg) list; (* parameter name -> bound value *)
+}
+
+and arg = Arg_const of string | Arg_attr of string
 
 (* ------------------------------------------------------------------ *)
 (* Constructors                                                        *)
@@ -50,6 +69,15 @@ let unnest e attr = Unnest (e, attr)
 let follow ?alias e link ~scheme =
   Follow { src = e; link; scheme; alias = Option.value alias ~default:scheme }
 
+let call ?alias ?src scheme ~args =
+  Call
+    {
+      c_src = src;
+      c_scheme = scheme;
+      c_alias = Option.value alias ~default:scheme;
+      c_args = args;
+    }
+
 (* Infix helpers mirroring the paper's notation: [e /: l] is unnest
    (R ◦ L, with [l] relative to the last alias) and [e @-> (l, p)] is
    follow link. They are defined in {!Dsl} to keep the module surface
@@ -62,9 +90,9 @@ let follow ?alias e link ~scheme =
 let rec fold f acc e =
   let acc = f acc e in
   match e with
-  | Entry _ | External _ -> acc
+  | Entry _ | External _ | Call { c_src = None; _ } -> acc
   | Select (_, e1) | Project (_, e1) | Unnest (e1, _) -> fold f acc e1
-  | Follow { src; _ } -> fold f acc src
+  | Follow { src; _ } | Call { c_src = Some src; _ } -> fold f acc src
   | Join (_, e1, e2) -> fold f (fold f acc e1) e2
 
 (* Bottom-up rebuild. *)
@@ -77,6 +105,7 @@ let rec map f e =
     | Join (keys, e1, e2) -> Join (keys, map f e1, map f e2)
     | Unnest (e1, a) -> Unnest (map f e1, a)
     | Follow fl -> Follow { fl with src = map f fl.src }
+    | Call c -> Call { c with c_src = Option.map (map f) c.c_src }
   in
   f e'
 
@@ -102,8 +131,20 @@ let rec equal e1 e2 =
     String.equal f1.link f2.link
     && String.equal f1.scheme f2.scheme
     && String.equal f1.alias f2.alias && equal f1.src f2.src
-  | (Entry _ | External _ | Select _ | Project _ | Join _ | Unnest _ | Follow _), _
-    -> false
+  | Call c1, Call c2 ->
+    String.equal c1.c_scheme c2.c_scheme
+    && String.equal c1.c_alias c2.c_alias
+    && List.equal
+         (fun (p1, a1) (p2, a2) ->
+           String.equal p1 p2
+           &&
+           match a1, a2 with
+           | Arg_const x, Arg_const y | Arg_attr x, Arg_attr y -> String.equal x y
+           | (Arg_const _ | Arg_attr _), _ -> false)
+         c1.c_args c2.c_args
+    && Option.equal equal c1.c_src c2.c_src
+  | ( Entry _ | External _ | Select _ | Project _ | Join _ | Unnest _ | Follow _
+    | Call _ ), _ -> false
 
 (* Aliases in scope: alias -> page-scheme name. External occurrences
    are reported with their relation name. *)
@@ -113,6 +154,7 @@ let alias_env e =
       match node with
       | Entry { scheme; alias } -> (alias, scheme) :: acc
       | Follow { scheme; alias; _ } -> (alias, scheme) :: acc
+      | Call { c_scheme; c_alias; _ } -> (c_alias, c_scheme) :: acc
       | External _ | Select _ | Project _ | Join _ | Unnest _ -> acc)
     [] e
 
@@ -125,7 +167,8 @@ let externals e =
     (fun acc node ->
       match node with
       | External { name; alias } -> (name, alias) :: acc
-      | Entry _ | Select _ | Project _ | Join _ | Unnest _ | Follow _ -> acc)
+      | Entry _ | Select _ | Project _ | Join _ | Unnest _ | Follow _ | Call _ ->
+        acc)
     [] e
   |> List.rev
 
@@ -177,6 +220,9 @@ let rec output_attrs (schema : Adm.Schema.t) e : string list =
     List.filter (fun a -> not (String.equal a attr)) (output_attrs schema e1) @ inner
   | Follow { src; scheme; alias; _ } ->
     output_attrs schema src @ scheme_attrs schema ~scheme ~alias
+  | Call { c_src; c_scheme; c_alias; _ } ->
+    (match c_src with None -> [] | Some s -> output_attrs schema s)
+    @ scheme_attrs schema ~scheme:c_scheme ~alias:c_alias
 
 and scheme_attrs schema ~scheme ~alias =
   let ps = Adm.Schema.find_scheme_exn schema scheme in
@@ -229,6 +275,9 @@ let output_attrs_memo (schema : Adm.Schema.t) : expr -> string list =
           List.filter (fun a -> not (String.equal a attr)) (go e1) @ inner
         | Follow { src; scheme; alias; _ } ->
           go src @ scheme_attrs schema ~scheme ~alias
+        | Call { c_src; c_scheme; c_alias; _ } ->
+          (match c_src with None -> [] | Some s -> go s)
+          @ scheme_attrs schema ~scheme:c_scheme ~alias:c_alias
       in
       Expr_tbl.add tbl e attrs;
       attrs
@@ -250,6 +299,19 @@ let rename_attrs f e =
       | Join (keys, e1, e2) -> Join (List.map (fun (a, b) -> (f a, f b)) keys, e1, e2)
       | Unnest (e1, a) -> Unnest (e1, f a)
       | Follow fl -> Follow { fl with link = f fl.link }
+      | Call c ->
+        Call
+          {
+            c with
+            c_args =
+              List.map
+                (fun (p, a) ->
+                  ( p,
+                    match a with
+                    | Arg_attr x -> Arg_attr (f x)
+                    | Arg_const _ as k -> k ))
+                c.c_args;
+          }
       | (Entry _ | External _) as leaf -> leaf)
     e
 
@@ -268,6 +330,7 @@ let rename_alias ~from ~into e =
     (function
       | Entry { scheme; alias } when String.equal alias from -> Entry { scheme; alias = into }
       | Follow fl when String.equal fl.alias from -> Follow { fl with alias = into }
+      | Call c when String.equal c.c_alias from -> Call { c with c_alias = into }
       | other -> other)
     e
 
@@ -300,6 +363,15 @@ let uniquify_aliases ~taken e =
 (* Printing                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let pp_arg ppf = function
+  | Arg_const c -> Fmt.pf ppf "'%s'" c
+  | Arg_attr a -> Fmt.string ppf a
+
+let pp_args ppf args =
+  Fmt.(list ~sep:comma)
+    (fun ppf (p, a) -> Fmt.pf ppf "%s:=%a" p pp_arg a)
+    ppf args
+
 let rec pp ppf = function
   | Entry { scheme; alias } ->
     if String.equal scheme alias then Fmt.string ppf scheme
@@ -317,6 +389,11 @@ let rec pp ppf = function
   | Follow { src; link; scheme; alias } ->
     if String.equal scheme alias then Fmt.pf ppf "%a →[%s] %s" pp src link scheme
     else Fmt.pf ppf "%a →[%s] %s as %s" pp src link scheme alias
+  | Call { c_src; c_scheme; c_alias; c_args } ->
+    let suffix = if String.equal c_scheme c_alias then "" else " as " ^ c_alias in
+    (match c_src with
+    | None -> Fmt.pf ppf "⇒[%a] %s%s" pp_args c_args c_scheme suffix
+    | Some src -> Fmt.pf ppf "%a ⇒[%a] %s%s" pp src pp_args c_args c_scheme suffix)
 
 let to_string e = Fmt.str "%a" pp e
 
@@ -349,5 +426,14 @@ let pp_plan ppf e =
       Fmt.pf ppf "%s→ %s [via %s]%s@,%a" pad scheme link
         (if String.equal scheme alias then "" else " as " ^ alias)
         (go (indent + 2)) src
+    | Call { c_src; c_scheme; c_alias; c_args } ->
+      let suffix =
+        if String.equal c_scheme c_alias then "" else " as " ^ c_alias
+      in
+      Fmt.pf ppf "%s⇒ %s [%a]%s@,%a" pad c_scheme pp_args c_args suffix
+        (fun ppf -> function
+          | None -> ()
+          | Some src -> go (indent + 2) ppf src)
+        c_src
   in
   Fmt.pf ppf "@[<v>%a@]" (go 0) e

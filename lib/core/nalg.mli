@@ -25,6 +25,9 @@ type expr =
       (** equi-join on (left attribute, right attribute) pairs *)
   | Unnest of expr * string  (** [R ◦ L], [L] a full attribute name *)
   | Follow of follow
+  | Call of call
+      (** parameterized-entry access [R ⇒\[args\] P]: fetch pages of a
+          form/service page-scheme by binding every declared parameter *)
 
 and follow = {
   src : expr;
@@ -32,6 +35,22 @@ and follow = {
   scheme : string;  (** target page-scheme *)
   alias : string;  (** alias qualifying the target's attributes *)
 }
+
+(** A call through a binding pattern. With [c_src = Some r], one
+    templated GET is issued per distinct argument combination drawn
+    from [r]'s rows ([Arg_attr] feeds an upstream column into the
+    parameter) and the reached page joins its source row, like
+    {!Follow}. With [c_src = None] every argument is a constant and
+    the call is a single-page relation, like an entry point. Calls
+    whose URL resolves to no page contribute no rows. *)
+and call = {
+  c_src : expr option;
+  c_scheme : string;  (** target (parameterized) page-scheme *)
+  c_alias : string;  (** alias qualifying the target's attributes *)
+  c_args : (string * arg) list;  (** parameter name -> bound value *)
+}
+
+and arg = Arg_const of string | Arg_attr of string
 
 (** {1 Constructors} *)
 
@@ -42,6 +61,11 @@ val project : string list -> expr -> expr
 val join : (string * string) list -> expr -> expr -> expr
 val unnest : expr -> string -> expr
 val follow : ?alias:string -> expr -> string -> scheme:string -> expr
+
+val call :
+  ?alias:string -> ?src:expr -> string -> args:(string * arg) list -> expr
+(** [call ?alias ?src scheme ~args] builds a parameterized-entry
+    access. Omit [src] for an all-constant root call. *)
 
 (** {1 Traversals} *)
 
@@ -92,6 +116,8 @@ val uniquify_aliases : taken:string list -> expr -> expr
 
 (** {1 Printing} *)
 
+val pp_arg : arg Fmt.t
+val pp_args : (string * arg) list Fmt.t
 val pp : expr Fmt.t
 val to_string : expr -> string
 val canonical : expr -> string

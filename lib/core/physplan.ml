@@ -55,6 +55,13 @@ type node =
       alias : string;
       filter : Pred.t; (* selection fused over the joined output *)
     }
+  | Call_fetch of {
+      src : op option; (* None: all-constant root call, a 1-page scan *)
+      scheme : string; (* parameterized target page-scheme *)
+      alias : string;
+      args : (string * Nalg.arg) list;
+      filter : Pred.t; (* selection fused over the joined output *)
+    }
 
 and op = { id : int; node : node; est : est option }
 
@@ -115,6 +122,8 @@ let lower ?card ?pages ?(view_attrs = fun (_ : string) -> None) ?(window = 8)
         { inner with node = View_scan { v with filter = v.filter @ p }; est }
       | Follow_links f ->
         { inner with node = Follow_links { f with filter = f.filter @ p }; est }
+      | Call_fetch c ->
+        { inner with node = Call_fetch { c with filter = c.filter @ p }; est }
       | Filter f -> { inner with node = Filter { f with pred = f.pred @ p }; est }
       | Project _ | Hash_join _ | Stream_unnest _ ->
         mk (Filter { pred = p; input = inner }) est)
@@ -144,6 +153,17 @@ let lower ?card ?pages ?(view_attrs = fun (_ : string) -> None) ?(window = 8)
       mk
         (Follow_links { src = src_op; link; scheme; alias; filter = [] })
         (est_of ~own_pages:(pages_of e) e)
+    | Nalg.Call { c_src; c_scheme; c_alias; c_args } ->
+      let ps = Adm.Schema.find_scheme_exn schema c_scheme in
+      if not (Adm.Page_scheme.is_parameterized ps) then
+        raise
+          (Not_computable (Fmt.str "page-scheme %s takes no parameters" c_scheme));
+      let src_op = Option.map go c_src in
+      mk
+        (Call_fetch
+           { src = src_op; scheme = c_scheme; alias = c_alias; args = c_args;
+             filter = [] })
+        (est_of ~own_pages:(pages_of e) e)
   in
   let root = go e in
   { root; n_ops = !counter; window = max 1 window }
@@ -168,6 +188,13 @@ let rec op_to_nalg (o : op) : Nalg.expr =
   | Follow_links { src; link; scheme; alias; filter } ->
     let base = Nalg.Follow { src = op_to_nalg src; link; scheme; alias } in
     if filter = [] then base else Nalg.Select (filter, base)
+  | Call_fetch { src; scheme; alias; args; filter } ->
+    let base =
+      Nalg.Call
+        { c_src = Option.map op_to_nalg src; c_scheme = scheme;
+          c_alias = alias; c_args = args }
+    in
+    if filter = [] then base else Nalg.Select (filter, base)
 
 let to_nalg plan = op_to_nalg plan.root
 
@@ -178,10 +205,11 @@ let to_nalg plan = op_to_nalg plan.root
 let rec fold_op f acc o =
   let acc = f acc o in
   match o.node with
-  | Scan _ | View_scan _ -> acc
+  | Scan _ | View_scan _ | Call_fetch { src = None; _ } -> acc
   | Filter { input; _ } | Project { input; _ } | Stream_unnest { input; _ } ->
     fold_op f acc input
-  | Follow_links { src; _ } -> fold_op f acc src
+  | Follow_links { src; _ } | Call_fetch { src = Some src; _ } ->
+    fold_op f acc src
   | Hash_join { left; right; _ } -> fold_op f (fold_op f acc left) right
 
 let fold f acc plan = fold_op f acc plan.root
@@ -204,16 +232,21 @@ let node_label (o : op) =
   | Follow_links { link; scheme; alias; filter; _ } ->
     Fmt.str "follow → %s [via %s]%s%s" scheme link (aka scheme alias)
       (filtered filter)
+  | Call_fetch { scheme; alias; args; filter; _ } ->
+    Fmt.str "call ⇒ %s [%s]%s%s" scheme
+      (Fmt.str "%a" Nalg.pp_args args)
+      (aka scheme alias) (filtered filter)
 
 let pp ppf (plan : plan) =
   let rec go indent ppf o =
     let pad = String.make indent ' ' in
     Fmt.pf ppf "%s%s@," pad (node_label o);
     match o.node with
-    | Scan _ | View_scan _ -> ()
+    | Scan _ | View_scan _ | Call_fetch { src = None; _ } -> ()
     | Filter { input; _ } | Project { input; _ } | Stream_unnest { input; _ } ->
       go (indent + 2) ppf input
-    | Follow_links { src; _ } -> go (indent + 2) ppf src
+    | Follow_links { src; _ } | Call_fetch { src = Some src; _ } ->
+      go (indent + 2) ppf src
     | Hash_join { left; right; _ } ->
       go (indent + 2) ppf left;
       go (indent + 2) ppf right

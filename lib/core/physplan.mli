@@ -48,6 +48,17 @@ type node =
       filter : Pred.t;  (** selection fused over the joined output *)
     }
       (** pipelined [R →L P]: incremental URL dedup, windowed prefetch *)
+  | Call_fetch of {
+      src : op option;
+      scheme : string;
+      alias : string;
+      args : (string * Nalg.arg) list;
+      filter : Pred.t;  (** selection fused over the joined output *)
+    }
+      (** pipelined parameterized-entry access [R ⇒\[args\] P]: one
+          templated GET per distinct bound-argument combination
+          (incremental URL dedup, windowed prefetch); [src = None] is
+          an all-constant root call, a single-page scan *)
 
 and op = { id : int; node : node; est : est option }
 (** [id] is a dense post-order index in [0 .. n_ops-1]; {!Exec} uses it

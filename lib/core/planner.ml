@@ -155,8 +155,8 @@ let substitutions_of (views : view_context option) (e : Nalg.expr) :
       (Nalg.externals e)
 
 let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
-    ?(minimize = true) ?views (schema : Adm.Schema.t) (stats : Stats.t)
-    (registry : View.registry) (q : Conjunctive.t) : outcome =
+    ?(minimize = true) ?views ?bindings (schema : Adm.Schema.t)
+    (stats : Stats.t) (registry : View.registry) (q : Conjunctive.t) : outcome =
   (* [pointer_rules] and [constraint_selections] exist for ablation
      studies: without rules 8/9 (resp. rule 6) the planner falls back
      to the constraint-blind plans. [cap], when given, overrides the
@@ -290,7 +290,18 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
      else with_selections)
     |> List.map (Rewrite.prune schema)
   in
-  let pruned = with_projections @ view_plans in
+  (* Step 2'': binding-pattern access paths — on sites whose data sits
+     behind parameterized forms, an equivalent-rewriting search over
+     the registered path views (see {!Bindings}) supplies chains of
+     [Call] operators answering the query with every input bound.
+     Like view scans, they bypass the navigation rewrites (the rules
+     reason over link structure, which a call does not expose) and
+     rejoin at the costing stage as ordinary candidates. The hook is
+     function-typed so the search can live above this library. *)
+  let binding_plans =
+    match bindings with None -> [] | Some f -> f q_plan
+  in
+  let pruned = with_projections @ view_plans @ binding_plans in
   (* dedup once more; typecheck gate; estimate; sort. Computability is
      relaxed to access paths: a plan may keep External leaves when
      every one names a view the economics snapshot prices (the
@@ -365,18 +376,18 @@ let enumerate ?cap ?(pointer_rules = true) ?(constraint_selections = true)
       diagnostics = List.rev !diagnostics;
     }
 
-let plan_sql ?cap ?pointer_rules ?constraint_selections ?minimize ?views schema
-    stats registry sql =
-  enumerate ?cap ?pointer_rules ?constraint_selections ?minimize ?views schema
-    stats registry
+let plan_sql ?cap ?pointer_rules ?constraint_selections ?minimize ?views
+    ?bindings schema stats registry sql =
+  enumerate ?cap ?pointer_rules ?constraint_selections ?minimize ?views
+    ?bindings schema stats registry
     (Sql_parser.parse registry sql)
 
 (* Plan and execute a SQL query against a page source. Returns the
    chosen plan and the result. [views] opens registered-view access
    paths to the enumeration; [exec_views] is the store-backed answerer
    the executor needs when the chosen plan scans a view. *)
-let run ?cap ?views ?exec_views schema stats registry source sql =
-  let outcome = plan_sql ?cap ?views schema stats registry sql in
+let run ?cap ?views ?bindings ?exec_views schema stats registry source sql =
+  let outcome = plan_sql ?cap ?views ?bindings schema stats registry sql in
   let result =
     rename_output outcome
       (Eval.eval ?views:exec_views schema source outcome.best.expr)

@@ -77,6 +77,7 @@ val enumerate :
   ?constraint_selections:bool ->
   ?minimize:bool ->
   ?views:view_context ->
+  ?bindings:(Conjunctive.t -> Nalg.expr list) ->
   Adm.Schema.t -> Stats.t -> View.registry -> Conjunctive.t -> outcome
 (** Raises [Invalid_argument] when no computable plan exists.
     [pointer_rules] (default true) enables rules 2/8/9;
@@ -95,7 +96,13 @@ val enumerate :
     that subsumes it, the scan priced by the light-connection
     economics of [vc_econ] against pure navigation — a fresh view
     wins, a stale view over churny schemes loses. A chosen view plan
-    is recorded in [view_used] and flagged [W0605]. *)
+    is recorded in [view_used] and flagged [W0605]. [bindings] supplies
+    binding-pattern rewriting candidates (chains of [Call] operators
+    over parameterized entry points, typically
+    [Bindings.planner_hook]) for the minimized query; like view scans
+    they bypass the navigation rewrites and rejoin at the costing
+    stage, subject to the same typecheck gate, semantic deduplication
+    and cost race. *)
 
 val plan_sql :
   ?cap:int ->
@@ -103,11 +110,13 @@ val plan_sql :
   ?constraint_selections:bool ->
   ?minimize:bool ->
   ?views:view_context ->
+  ?bindings:(Conjunctive.t -> Nalg.expr list) ->
   Adm.Schema.t -> Stats.t -> View.registry -> string -> outcome
 
 val run :
   ?cap:int ->
   ?views:view_context ->
+  ?bindings:(Conjunctive.t -> Nalg.expr list) ->
   ?exec_views:Exec.views ->
   Adm.Schema.t -> Stats.t -> View.registry -> Eval.source -> string ->
   outcome * Adm.Relation.t

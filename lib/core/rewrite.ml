@@ -28,11 +28,13 @@ let rec contexts (e : expr) : (expr * (expr -> expr)) list =
   (e, fun x -> x)
   ::
   (match e with
-  | Entry _ | External _ -> []
+  | Entry _ | External _ | Call { c_src = None; _ } -> []
   | Select (p, e1) -> wrap (fun x -> Select (p, x)) (contexts e1)
   | Project (attrs, e1) -> wrap (fun x -> Project (attrs, x)) (contexts e1)
   | Unnest (e1, a) -> wrap (fun x -> Unnest (x, a)) (contexts e1)
   | Follow fl -> wrap (fun x -> Follow { fl with src = x }) (contexts fl.src)
+  | Call ({ c_src = Some src; _ } as c) ->
+    wrap (fun x -> Call { c with c_src = Some x }) (contexts src)
   | Join (keys, e1, e2) ->
     wrap (fun x -> Join (keys, x, e2)) (contexts e1)
     @ wrap (fun x -> Join (keys, e1, x)) (contexts e2))
@@ -70,6 +72,11 @@ let referenced_attrs e =
       | Join (keys, _, _) -> List.concat_map (fun (a, b) -> [ a; b ]) keys @ acc
       | Unnest (_, a) -> a :: acc
       | Follow { link; _ } -> link :: acc
+      | Call { c_args; _ } ->
+        List.filter_map
+          (function _, Arg_attr a -> Some a | _, Arg_const _ -> None)
+          c_args
+        @ acc
       | Entry _ | External _ -> acc)
     [] e
 
@@ -179,7 +186,7 @@ let try_merge (keys : (string * string) list) ~(keep : expr) ~(drop : expr)
       | Unnest (e1, _) -> prefixes e1
       | Follow { src; _ } -> prefixes src
       | Select (_, e1) -> prefixes e1
-      | Entry _ | External _ | Project _ | Join _ -> [])
+      | Entry _ | External _ | Project _ | Join _ | Call _ -> [])
     in
     let candidates = prefixes keep in
     let rec first_match = function
@@ -386,7 +393,9 @@ let rec pure_navigation = function
   | Entry _ -> true
   | Unnest (e1, _) -> pure_navigation e1
   | Follow { src; _ } -> pure_navigation src
-  | Select _ | Join _ | Project _ | External _ -> false
+  (* a call reaches only the pages its bound arguments select, never
+     a link attribute's full extent — rule 9's inclusion does not apply *)
+  | Select _ | Join _ | Project _ | External _ | Call _ -> false
 
 let rule9 (schema : Adm.Schema.t) (root : expr) : expr list =
   List.filter_map
@@ -522,6 +531,13 @@ let sink_selections (schema : Adm.Schema.t) (e : expr) : expr =
         List.partition (fun at -> subset (Pred.atom_attrs at) avail) atoms
       in
       wrap here (Follow { fl with src = place inside fl.src })
+    | Call { c_src = None; _ } -> wrap atoms e
+    | Call ({ c_src = Some src; _ } as c) ->
+      let avail = out src in
+      let inside, here =
+        List.partition (fun at -> subset (Pred.atom_attrs at) avail) atoms
+      in
+      wrap here (Call { c with c_src = Some (place inside src) })
     | Join (keys, e1, e2) ->
       let a1 = out e1 in
       let a2 = out e2 in
@@ -590,6 +606,17 @@ let prune (schema : Adm.Schema.t) (root : expr) : expr =
       in
       if contributes || optional then Follow { fl with src = go (fl.link :: needed) fl.src }
       else go needed fl.src
+    | Call ({ c_src; c_args; _ } as c) ->
+      (* never dropped: the bound arguments are the access path itself;
+         the source must keep every attribute a call argument reads *)
+      let arg_attrs =
+        List.filter_map
+          (function _, Arg_attr a -> Some a | _, Arg_const _ -> None)
+          c_args
+      in
+      (match c_src with
+      | None -> e
+      | Some src -> Call { c with c_src = Some (go (arg_attrs @ needed) src) })
   in
   go (output_attrs schema root) root
 

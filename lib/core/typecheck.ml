@@ -77,7 +77,13 @@ let infer ?(views = fun (_ : string) -> None) (schema : Adm.Schema.t)
       (match Adm.Schema.find_scheme schema scheme with
       | None -> err rev "E0101" "unknown page-scheme %s" scheme
       | Some ps ->
-        if not (Adm.Page_scheme.is_entry_point ps) then
+        if Adm.Page_scheme.is_parameterized ps then
+          err rev "E0111"
+            "page-scheme %s is a parameterized entry (%s): every parameter \
+             must be bound by a call"
+            scheme
+            (Adm.Page_scheme.adornment ps)
+        else if not (Adm.Page_scheme.is_entry_point ps) then
           err rev "E0102" "page-scheme %s is not an entry point" scheme);
       scheme_env schema ~scheme ~alias
     | Nalg.External { name; alias } -> (
@@ -172,6 +178,73 @@ let infer ?(views = fun (_ : string) -> None) (schema : Adm.Schema.t)
             err rev "E0105" "follow produces ambiguous attribute %s" a)
         tgt;
       env_src @ tgt
+    | Nalg.Call { c_src; c_scheme; c_alias; c_args } ->
+      let env_src =
+        match c_src with None -> [] | Some src -> go ("call" :: rev) src
+      in
+      (match Adm.Schema.find_scheme schema c_scheme with
+      | None -> err rev "E0101" "unknown page-scheme %s" c_scheme
+      | Some ps ->
+        if not (Adm.Page_scheme.is_parameterized ps) then
+          err rev "E0111" "call targets %s, which declares no parameters"
+            c_scheme
+        else begin
+          (* binding-pattern discipline: every declared parameter bound
+             exactly once, every argument a declared parameter, every
+             attribute argument available (and scalar) in the source *)
+          List.iter
+            (fun (p : Adm.Page_scheme.param) ->
+              match
+                List.filter
+                  (fun (n, _) -> String.equal n p.Adm.Page_scheme.p_name)
+                  c_args
+              with
+              | [] ->
+                err rev "E0111"
+                  "call to %s leaves required parameter %s unbound" c_scheme
+                  p.Adm.Page_scheme.p_name
+              | [ _ ] -> ()
+              | _ ->
+                err rev "E0111" "call to %s binds parameter %s more than once"
+                  c_scheme p.Adm.Page_scheme.p_name)
+            (Adm.Page_scheme.params ps);
+          List.iter
+            (fun (n, arg) ->
+              match Adm.Page_scheme.find_param ps n with
+              | None ->
+                err rev "E0111" "call to %s binds unknown parameter %s"
+                  c_scheme n
+              | Some p -> (
+                match arg with
+                | Nalg.Arg_const _ -> ()
+                | Nalg.Arg_attr a -> (
+                  match List.assoc_opt a env_src with
+                  | None ->
+                    err rev "E0111"
+                      "call argument %s := %s references an attribute the \
+                       enclosing plan does not bind"
+                      n a
+                  | Some ty ->
+                    if Adm.Webtype.is_multi ty then
+                      err rev "E0106"
+                        "call argument %s := %s feeds a multi-valued attribute"
+                        n a
+                    else if not (Adm.Webtype.compatible ty p.Adm.Page_scheme.p_ty)
+                    then
+                      err rev "E0106"
+                        "call argument %s type mismatch: parameter is %a, %s \
+                         is %a"
+                        n Adm.Webtype.pp p.Adm.Page_scheme.p_ty a Adm.Webtype.pp
+                        ty)))
+            c_args
+        end);
+      let tgt = scheme_env schema ~scheme:c_scheme ~alias:c_alias in
+      List.iter
+        (fun (a, _) ->
+          if List.mem_assoc a env_src then
+            err rev "E0105" "call produces ambiguous attribute %s" a)
+        tgt;
+      env_src @ tgt
   in
   let env = go [] root in
   (env, List.rev !diags)
@@ -247,6 +320,13 @@ let reachable_schemes (schema : Adm.Schema.t) =
   List.iter
     (fun ps -> visit (Adm.Page_scheme.name ps))
     (Adm.Schema.entry_points schema);
+  (* parameterized entries are reachable too — through a call binding
+     their parameters — and so is everything they link to *)
+  List.iter
+    (fun ps ->
+      if Adm.Page_scheme.is_parameterized ps then
+        visit (Adm.Page_scheme.name ps))
+    (Adm.Schema.schemes schema);
   visited
 
 let lint_schema (schema : Adm.Schema.t) : Diagnostic.t list =
@@ -288,8 +368,12 @@ let lint_schema (schema : Adm.Schema.t) : Diagnostic.t list =
              (d.Adm.Page_scheme.name, d.Adm.Page_scheme.ty))
            (Adm.Page_scheme.attrs ps)))
     (Adm.Schema.schemes schema);
-  (* E0211: no entry point at all *)
-  if Adm.Schema.entry_points schema = [] then
+  (* E0211: no access path at all — neither a crawlable entry point
+     nor a parameterized (form/service) entry *)
+  if
+    Adm.Schema.entry_points schema = []
+    && not (List.exists Adm.Page_scheme.is_parameterized (Adm.Schema.schemes schema))
+  then
     err "E0211" "web scheme %s declares no entry point" (Adm.Schema.name schema);
   (* Constraint path resolution (E0201 / E0202) *)
   let resolve (p : Adm.Constraints.path) =

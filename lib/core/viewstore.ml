@@ -72,6 +72,7 @@ let nav_schemes (nav : View.navigation) =
 let rec out_scheme (e : Nalg.expr) =
   match e with
   | Nalg.Entry { scheme; _ } | Nalg.Follow { scheme; _ } -> Some scheme
+  | Nalg.Call { c_scheme; _ } -> Some c_scheme
   | Nalg.Select (_, e1) | Nalg.Project (_, e1) | Nalg.Unnest (e1, _) ->
     out_scheme e1
   | Nalg.Join (_, _, e2) -> out_scheme e2

@@ -74,16 +74,16 @@ type spec = {
    text once; the distinct texts plan in parallel on the pool when one
    is given (planning is pure — costs, rewrites, no network; a view
    context is a read-only snapshot, so it fans out too). *)
-let plan_workload ?pool ?views (schema : Adm.Schema.t) (stats : Webviews.Stats.t)
-    (registry : Webviews.View.registry) (entries : Workload.entry list) :
-    spec list =
+let plan_workload ?pool ?views ?bindings (schema : Adm.Schema.t)
+    (stats : Webviews.Stats.t) (registry : Webviews.View.registry)
+    (entries : Workload.entry list) : spec list =
   let texts =
     List.sort_uniq String.compare
       (List.map (fun (e : Workload.entry) -> e.Workload.sql) entries)
   in
   let plan sql =
     ( sql,
-      (Webviews.Planner.plan_sql ?views schema stats registry sql)
+      (Webviews.Planner.plan_sql ?views ?bindings schema stats registry sql)
         .Webviews.Planner.best )
   in
   let planned =

@@ -61,6 +61,7 @@ type spec = {
 
 val plan_workload :
   ?pool:Pool.t -> ?views:Webviews.Planner.view_context ->
+  ?bindings:(Webviews.Conjunctive.t -> Webviews.Nalg.expr list) ->
   Adm.Schema.t -> Webviews.Stats.t -> Webviews.View.registry ->
   Workload.entry list -> spec list
 (** Plan each workload entry with {!Webviews.Planner.plan_sql} and
@@ -69,7 +70,10 @@ val plan_workload :
     plan in parallel when a pool is given. With [views], registered
     materialized views compete as access paths, and a winning spec
     carries the view occurrence in its [expr] — run such specs against
-    a cache with the same store {!Shared_cache.attach_views}ed. *)
+    a cache with the same store {!Shared_cache.attach_views}ed. With
+    [bindings] (see {!Webviews.Planner.enumerate}), rewritings over
+    parameterized entry points compete too — the only access path on
+    form-only sites. *)
 
 type completeness = {
   complete : bool;

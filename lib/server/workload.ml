@@ -62,10 +62,25 @@ let catalog_templates =
     "SELECT b.BrandName FROM Brand b";
   ]
 
+(* The form-only site: every query needs at least one equality
+   constant to seed the binding-pattern rewriting search, and the
+   constants stick to department names the generator always emits. *)
+let formsite_templates =
+  [
+    "SELECT C.CName, C.Title FROM Course C WHERE C.Dept = 'cs'";
+    "SELECT C.CName, C.Instructor FROM Course C WHERE C.Dept = 'math'";
+    "SELECT C.Title FROM Course C WHERE C.Dept = 'bio'";
+    "SELECT P.PName, P.Office FROM Course C, Professor P \
+     WHERE C.Dept = 'cs' AND C.Instructor = P.PName";
+    "SELECT P.PName, P.Phone FROM Course C, Professor P \
+     WHERE C.Dept = 'math' AND C.Instructor = P.PName";
+  ]
+
 let templates_for = function
   | "university" -> Some university_templates
   | "bibliography" -> Some bibliography_templates
   | "catalog" -> Some catalog_templates
+  | "formsite" -> Some formsite_templates
   | _ -> None
 
 (* ------------------------------------------------------------------ *)

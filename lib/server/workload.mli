@@ -14,8 +14,14 @@ val university_templates : string list
 val bibliography_templates : string list
 val catalog_templates : string list
 
+val formsite_templates : string list
+(** Queries over the form-only site: each carries an equality constant
+    (a department name) that seeds the binding-pattern rewriting
+    search — no other access path exists there. *)
+
 val templates_for : string -> string list option
-(** The pool for a site name ([university]/[bibliography]/[catalog]). *)
+(** The pool for a site name
+    ([university]/[bibliography]/[catalog]/[formsite]). *)
 
 val generate :
   ?templates:string list -> ?deadline_ms:float -> seed:int -> n:int -> unit ->

@@ -1,0 +1,313 @@
+(* A form-only web site: the data sits behind parameterized entry
+   points, with no crawlable index. The home page greets the visitor
+   and exposes three forms — department lookup, course lookup,
+   professor lookup — but links to nothing: every data page is
+   reachable only through a templated GET with its parameter bound
+   ("?dept=cs"). Queries over this site have no navigation-only plan;
+   they are answered by the binding-pattern rewriting search
+   ({!Bindings}), which composes the forms so each input is fed by a
+   query constant or an output of an earlier call.
+
+   Page-schemes:
+     FormHome   (entry)       Motto
+     DeptPage   [dept  : b]   DName, Courses(CName, CTitle)
+     CoursePage [course : b]  CName, Title, DeptName, Instructor
+     ProfPage   [prof  : b]   PName, Office, Phone
+
+   A page echoes its parameter (DeptPage.DName = dept, etc.), the
+   usual service contract the vocabulary's logical names rely on. *)
+
+type config = {
+  seed : int;
+  n_depts : int;
+  n_profs : int;
+  n_courses : int;
+}
+
+let default_config = { seed = 9; n_depts = 4; n_profs = 12; n_courses = 36 }
+
+type course = {
+  c_name : string;
+  c_title : string;
+  c_dept : string;
+  c_instructor : string;
+}
+
+type prof = { p_name : string; office : string; phone : string }
+
+type t = {
+  config : config;
+  site : Websim.Site.t;
+  depts : string list;
+  courses : course list;
+  profs : prof list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Scheme                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let home_url = "/index.html"
+let dept_base = "/dept"
+let course_base = "/course"
+let prof_base = "/prof"
+
+let schema : Adm.Schema.t =
+  let open Adm in
+  let text = Webtype.Text in
+  let home =
+    Page_scheme.make ~entry_url:home_url "FormHome" [ Page_scheme.attr "Motto" text ]
+  in
+  let dept =
+    Page_scheme.make ~entry_url:dept_base
+      ~params:[ Page_scheme.param "dept" text ]
+      "DeptPage"
+      [
+        Page_scheme.attr "DName" text;
+        Page_scheme.attr "Courses"
+          (Webtype.List [ ("CName", text); ("CTitle", text) ]);
+      ]
+  in
+  let course =
+    Page_scheme.make ~entry_url:course_base
+      ~params:[ Page_scheme.param "course" text ]
+      "CoursePage"
+      [
+        Page_scheme.attr "CName" text;
+        Page_scheme.attr "Title" text;
+        Page_scheme.attr "DeptName" text;
+        Page_scheme.attr "Instructor" text;
+      ]
+  in
+  let prof =
+    Page_scheme.make ~entry_url:prof_base
+      ~params:[ Page_scheme.param "prof" text ]
+      "ProfPage"
+      [
+        Page_scheme.attr "PName" text;
+        Page_scheme.attr "Office" text;
+        Page_scheme.attr "Phone" text;
+      ]
+  in
+  Schema.make ~name:"Formsite" ~schemes:[ home; dept; course; prof ]
+    ~link_constraints:[] ~inclusions:[]
+
+(* The external view: relational, but with *no* default navigations —
+   there is nothing to navigate. Plans come from the rewriting search
+   alone. *)
+let view : Webviews.View.registry =
+  let open Webviews in
+  [
+    View.relation ~name:"Course"
+      ~attrs:[ "Dept"; "CName"; "Title"; "Instructor" ]
+      ~keys:[ "CName" ] ~navigations:[] ();
+    View.relation ~name:"Professor"
+      ~attrs:[ "PName"; "Office"; "Phone" ]
+      ~keys:[ "PName" ] ~navigations:[] ();
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Binding patterns                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let path_views : Bindings.path_view list =
+  [
+    Bindings.path_view ~name:"dept_courses" ~scheme:"DeptPage"
+      ~inputs:[ "dept" ] ~unnest:[ "Courses" ]
+      ~outputs:
+        [ ("dept", "DName"); ("course", "Courses.CName"); ("title", "Courses.CTitle") ]
+      ();
+    Bindings.path_view ~name:"course_info" ~scheme:"CoursePage"
+      ~inputs:[ "course" ]
+      ~outputs:
+        [
+          ("course", "CName"); ("title", "Title"); ("dept", "DeptName");
+          ("prof", "Instructor");
+        ]
+      ();
+    Bindings.path_view ~name:"prof_info" ~scheme:"ProfPage" ~inputs:[ "prof" ]
+      ~outputs:[ ("prof", "PName"); ("office", "Office"); ("phone", "Phone") ]
+      ();
+  ]
+
+let vocab =
+  [
+    ( "Course",
+      [
+        ("Dept", "dept"); ("CName", "course"); ("Title", "title");
+        ("Instructor", "prof");
+      ] );
+    ("Professor", [ ("PName", "prof"); ("Office", "office"); ("Phone", "phone") ]);
+  ]
+
+let binding_config : Bindings.config = Bindings.config ~views:path_views ~vocab
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dept_names = [| "cs"; "math"; "bio"; "physics"; "history"; "music" |]
+
+let first_names =
+  [| "Ada"; "Edgar"; "Grace"; "Alan"; "Barbara"; "Donald"; "Hedy"; "Niklaus" |]
+
+let last_names =
+  [| "Lovelace"; "Codd"; "Hopper"; "Turing"; "Liskov"; "Knuth"; "Lamarr"; "Wirth" |]
+
+let topics =
+  [| "Databases"; "Algebra"; "Genetics"; "Mechanics"; "Archives"; "Harmony";
+     "Logic"; "Networks" |]
+
+let generate config =
+  let rng = Random.State.make [| config.seed |] in
+  let depts =
+    List.init
+      (min config.n_depts (Array.length dept_names))
+      (fun i -> dept_names.(i))
+  in
+  let profs =
+    List.init config.n_profs (fun i ->
+        let f = first_names.(Random.State.int rng (Array.length first_names)) in
+        let l = last_names.(i mod Array.length last_names) in
+        {
+          p_name = Fmt.str "%s %s %d" f l (i + 1);
+          office = Fmt.str "Bldg %c, room %d" (Char.chr (65 + (i mod 5))) (100 + i);
+          phone = Fmt.str "555-01%02d" i;
+        })
+  in
+  let nth xs n = List.nth xs (n mod List.length xs) in
+  let courses =
+    List.init config.n_courses (fun i ->
+        let c_dept = nth depts (Random.State.int rng (List.length depts)) in
+        let instructor = (nth profs (Random.State.int rng (List.length profs))).p_name in
+        {
+          c_name = Fmt.str "%s%d" c_dept (101 + i);
+          c_title =
+            Fmt.str "%s %d" topics.(Random.State.int rng (Array.length topics)) (i + 1);
+          c_dept;
+          c_instructor = instructor;
+        })
+  in
+  (depts, courses, profs)
+
+(* ------------------------------------------------------------------ *)
+(* Pages                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let v_text s = Adm.Value.text s
+
+(* Published URLs are computed by {!Adm.Page_scheme.bound_url} — the
+   same function the executor's parameterized fetch uses — so the two
+   sides agree byte for byte, percent-encoding included. *)
+let scheme_url name bindings =
+  match
+    Adm.Page_scheme.bound_url (Adm.Schema.find_scheme_exn schema name) bindings
+  with
+  | Some url -> url
+  | None -> invalid_arg (Fmt.str "Formsite: %s not fully bound" name)
+
+let dept_url d = scheme_url "DeptPage" [ ("dept", d) ]
+let course_url c = scheme_url "CoursePage" [ ("course", c) ]
+let prof_url p = scheme_url "ProfPage" [ ("prof", p) ]
+
+let put t url title tuple =
+  Websim.Site.put t.site ~url ~body:(Websim.Wrapper.render ~title tuple)
+
+let publish_all t =
+  put t home_url "Form home"
+    [ ("Motto", v_text "All data behind forms; nothing to crawl.") ];
+  List.iter
+    (fun d ->
+      let cs = List.filter (fun c -> String.equal c.c_dept d) t.courses in
+      put t (dept_url d) d
+        [
+          ("DName", v_text d);
+          ( "Courses",
+            Adm.Value.Rows
+              (List.map
+                 (fun c -> [ ("CName", v_text c.c_name); ("CTitle", v_text c.c_title) ])
+                 cs) );
+        ])
+    t.depts;
+  List.iter
+    (fun c ->
+      put t (course_url c.c_name) c.c_name
+        [
+          ("CName", v_text c.c_name);
+          ("Title", v_text c.c_title);
+          ("DeptName", v_text c.c_dept);
+          ("Instructor", v_text c.c_instructor);
+        ])
+    t.courses;
+  List.iter
+    (fun p ->
+      put t (prof_url p.p_name) p.p_name
+        [
+          ("PName", v_text p.p_name);
+          ("Office", v_text p.office);
+          ("Phone", v_text p.phone);
+        ])
+    t.profs
+
+let build ?(config = default_config) () =
+  let depts, courses, profs = generate config in
+  let t = { config; site = Websim.Site.create (); depts; courses; profs } in
+  publish_all t;
+  Websim.Site.tick t.site;
+  t
+
+let site t = t.site
+let depts t = t.depts
+let courses t = t.courses
+let profs t = t.profs
+
+(* ------------------------------------------------------------------ *)
+(* Statistics (declared, not crawled: the site cannot be crawled)      *)
+(* ------------------------------------------------------------------ *)
+
+let stats t : Webviews.Stats.t =
+  let s = Webviews.Stats.create () in
+  let n_depts = List.length t.depts
+  and n_courses = List.length t.courses
+  and n_profs = List.length t.profs in
+  Webviews.Stats.set_cardinality s "FormHome" 1;
+  Webviews.Stats.set_cardinality s "DeptPage" n_depts;
+  Webviews.Stats.set_cardinality s "CoursePage" n_courses;
+  Webviews.Stats.set_cardinality s "ProfPage" n_profs;
+  Webviews.Stats.set_fanout s "DeptPage.Courses"
+    (float_of_int n_courses /. float_of_int (max 1 n_depts));
+  Webviews.Stats.set_distinct s "DeptPage.DName" n_depts;
+  Webviews.Stats.set_distinct s "DeptPage.Courses.CName" n_courses;
+  Webviews.Stats.set_distinct s "CoursePage.CName" n_courses;
+  Webviews.Stats.set_distinct s "CoursePage.Instructor" n_profs;
+  Webviews.Stats.set_distinct s "ProfPage.PName" n_profs;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Ground truth                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Expected rows of the headline query — instructors of a department's
+   courses with their offices — computed from the generator's records,
+   for byte-identity checks against executed rewritings. Distinct and
+   sorted, matching the projection semantics of the algebra. *)
+let expected_staff t ~dept : (string * string) list =
+  List.filter_map
+    (fun c ->
+      if String.equal c.c_dept dept then
+        let p = List.find (fun p -> String.equal p.p_name c.c_instructor) t.profs in
+        Some (c.c_instructor, p.office)
+      else None)
+    t.courses
+  |> List.sort_uniq compare
+
+(* The GET count of the oracle that materializes the whole site before
+   answering anything — every form output for every possible input. *)
+let oracle_gets t = Websim.Site.page_count t.site
+
+(* The query the experiments and the CI smoke stage run. *)
+let staff_query dept =
+  Fmt.str
+    "SELECT P.PName, P.Office FROM Course C, Professor P WHERE C.Dept = '%s' \
+     AND C.Instructor = P.PName"
+    dept

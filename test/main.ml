@@ -25,4 +25,5 @@ let () =
       Test_views.suite;
       Test_server.suite;
       Test_churn.suite;
+      Test_bindings.suite;
     ]

@@ -371,7 +371,7 @@ let test_build_side_follows_estimates () =
           (left.Physplan.est, right.Physplan.est, build_left) :: acc
         | Physplan.Scan _ | Physplan.View_scan _ | Physplan.Filter _
         | Physplan.Project _ | Physplan.Stream_unnest _
-        | Physplan.Follow_links _ -> acc)
+        | Physplan.Follow_links _ | Physplan.Call_fetch _ -> acc)
       [] plan
   in
   check bool_t "the pointer-join plan has a hash join" true (joins <> []);
